@@ -1,0 +1,57 @@
+"""Ablation: how the collective-charging model changes Figure 3.
+
+DESIGN.md §4 documents that the paper's two captions cannot both be
+reproduced under a single textbook flat-ring model; this benchmark sweeps
+all three charging models and records where each conclusion holds — the
+reproduction's headline sensitivity finding.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import fig3b_decode_series
+from repro.analysis.tables import format_table
+from repro.core.roofline import CommModel, RooflinePolicy
+
+from conftest import emit
+
+MODELS = ("Llama3-70B", "GPT3-175B", "Llama3-405B")
+
+
+def _decode_by_comm_model():
+    out = {}
+    for comm in CommModel:
+        series = fig3b_decode_series(policy=RooflinePolicy(comm_model=comm))
+        out[comm] = {m: series[m] for m in MODELS}
+    return out
+
+
+def test_ablation_comm_model(benchmark):
+    results = benchmark.pedantic(_decode_by_comm_model, rounds=1, iterations=1)
+    rows = []
+    for comm, series in results.items():
+        for model in MODELS:
+            rows.append(
+                [comm.value, model,
+                 f"{series[model]['Lite']:.3f}",
+                 f"{series[model]['Lite+MemBW']:.3f}",
+                 f"{series[model]['Lite+MemBW+NetBW']:.3f}"]
+            )
+    emit(
+        "Ablation: decode panel vs collective charging model (normalized to H100)",
+        format_table(["comm model", "model", "Lite", "Lite+MemBW", "Lite+MemBW+NetBW"], rows),
+    )
+
+    ring = results[CommModel.FLAT_RING]
+    hier = results[CommModel.HIERARCHICAL]
+    shard = results[CommModel.SHARDED]
+    # Flat-ring is the harshest model for the Lite variants everywhere.
+    # (SHARDED is not uniformly above HIERARCHICAL: it shrinks wire volume
+    # but keeps flat-ring hop latency, so latency-bound decode collectives
+    # — GPT-3's small messages — can fare better hierarchically.)
+    for model in MODELS:
+        assert ring[model]["Lite+MemBW"] <= hier[model]["Lite+MemBW"] + 1e-9
+        assert ring[model]["Lite+MemBW"] <= shard[model]["Lite+MemBW"] + 1e-9
+    # The paper's "Lite+MemBW exceeds H100" claim survives the optimistic
+    # and default models for 70B, but NOT strict flat-ring physics at 405B.
+    assert hier["Llama3-70B"]["Lite+MemBW"] > 1.0
+    assert ring["Llama3-405B"]["Lite+MemBW"] < 1.0

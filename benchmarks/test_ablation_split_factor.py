@@ -1,0 +1,69 @@
+"""Ablation: how far does the Lite idea scale?  Sweep the split factor.
+
+The paper picks split=4; this ablation asks what 2-, 8- and 16-way splits
+would do to yield, cost, shoreline, cooling headroom, and decode
+performance — the "how lite is too lite?" question.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.search import search_best_config
+from repro.hardware.cooling import CoolingModel
+from repro.hardware.cost import CostModel
+from repro.hardware.gpu import H100
+from repro.hardware.scaling import LiteScaling, derive_lite_gpu
+from repro.hardware.yieldmodel import yield_gain
+from repro.workloads.models import LLAMA3_70B
+
+from conftest import emit
+
+
+def _split_sweep():
+    records = []
+    h100_decode = search_best_config(LLAMA3_70B, H100, "decode").best_tokens_per_s_per_sm
+    cooling = CoolingModel()
+    for split in (1, 2, 4, 8):
+        gpu = H100 if split == 1 else derive_lite_gpu(
+            H100, LiteScaling(split=split), name=f"Lite/{split}"
+        )
+        decode = search_best_config(LLAMA3_70B, gpu, "decode").best_tokens_per_s_per_sm
+        records.append(
+            {
+                "split": split,
+                "yield_gain": yield_gain(814.0, split),
+                "cost_saving": CostModel().cost_reduction(814.0, split),
+                "overclock_headroom": cooling.overclock_headroom(gpu),
+                "decode_vs_h100": decode / h100_decode,
+            }
+        )
+    return records
+
+
+def test_ablation_split_factor(benchmark):
+    records = benchmark.pedantic(_split_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            r["split"],
+            f"{r['yield_gain']:.2f}x",
+            f"{r['cost_saving']:.0%}",
+            f"{r['overclock_headroom']:.2f}x",
+            f"{r['decode_vs_h100']:.2f}",
+        ]
+        for r in records
+    ]
+    emit(
+        "Ablation: split factor (Llama3-70B decode, base Lite scaling)",
+        format_table(
+            ["split", "yield gain", "silicon saving", "overclock headroom", "decode vs H100"],
+            rows,
+        ),
+    )
+    by_split = {r["split"]: r for r in records}
+    # Hardware economics improve monotonically with the split...
+    assert by_split[8]["yield_gain"] > by_split[4]["yield_gain"] > by_split[2]["yield_gain"]
+    assert by_split[8]["cost_saving"] > by_split[2]["cost_saving"]
+    # ...while performance per SM erodes (more devices, more network).
+    assert by_split[8]["decode_vs_h100"] <= by_split[2]["decode_vs_h100"] + 1e-9
+    # The paper's split=4 keeps decode within ~10% of H100.
+    assert by_split[4]["decode_vs_h100"] > 0.85

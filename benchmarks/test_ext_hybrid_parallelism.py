@@ -1,0 +1,68 @@
+"""Extension: hybrid TP x PP — can pipelining fix the Lite network tax?
+
+The paper's search is tensor-parallel only.  This extension adds the
+pipeline dimension and answers two questions the Figure 3 analysis raises:
+
+1. prefill: does TP x PP recover plain Lite's 405B degradation?  (Yes:
+   halving the all-reduce degree costs only an ~11% bubble.)
+2. decode: can PP rescue the 405B Lite+MemBW divergence?  (No: decode TBT
+   is latency-bound — a token must traverse every stage — so the search
+   correctly collapses to pure TP.)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.pipeline import search_hybrid_config
+from repro.core.search import search_best_config
+from repro.hardware.gpu import H100, LITE, LITE_MEMBW
+from repro.workloads.models import LLAMA3_405B, LLAMA3_70B
+
+from conftest import emit
+
+
+def _hybrid_matrix():
+    records = []
+    for model, gpu, phase in (
+        (LLAMA3_405B, LITE, "prefill"),
+        (LLAMA3_405B, LITE_MEMBW, "decode"),
+        (LLAMA3_70B, LITE, "prefill"),
+        (LLAMA3_70B, LITE, "decode"),
+    ):
+        tp_only = search_best_config(model, gpu, phase).best_tokens_per_s_per_sm
+        hybrid = search_hybrid_config(model, gpu, phase)
+        h100 = search_best_config(model, H100, phase).best_tokens_per_s_per_sm
+        records.append((model.name, gpu.name, phase, tp_only, hybrid, h100))
+    return records
+
+
+def test_ext_hybrid_parallelism(benchmark):
+    records = benchmark.pedantic(_hybrid_matrix, rounds=1, iterations=1)
+    rows = []
+    for model, gpu, phase, tp_only, hybrid, h100 in records:
+        rows.append(
+            [
+                model,
+                gpu,
+                phase,
+                f"{tp_only / h100:.3f}",
+                f"{hybrid.tokens_per_s_per_sm / h100:.3f}",
+                f"tp{hybrid.tensor} x pp{hybrid.stages}",
+                f"{hybrid.bubble_fraction:.0%}",
+            ]
+        )
+    emit(
+        "Extension: hybrid TP x PP vs TP-only (normalized to H100 per phase)",
+        format_table(
+            ["model", "gpu", "phase", "TP-only", "hybrid", "layout", "bubble"],
+            rows,
+        ),
+    )
+    by_key = {(m, g, p): (t, h) for m, g, p, t, h, _ in records}
+    tp_405_prefill, hy_405_prefill = by_key[("Llama3-405B", "Lite", "prefill")]
+    # PP recovers a meaningful chunk of the 405B prefill gap...
+    assert hy_405_prefill.stages > 1
+    assert hy_405_prefill.tokens_per_s_per_sm > tp_405_prefill * 1.05
+    # ...but cannot rescue latency-bound decode.
+    _, hy_405_decode = by_key[("Llama3-405B", "Lite+MemBW", "decode")]
+    assert hy_405_decode.stages == 1

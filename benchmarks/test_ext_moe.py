@@ -1,0 +1,57 @@
+"""Extension: Mixture-of-Experts serving on Lite clusters.
+
+MoE models (the DeepSeek direction the paper's related work cites) are the
+most memory-bound mainstream workload: every expert is resident and — at
+serving batch sizes — read every iteration, while only top-k contribute
+FLOPs.  That skews the Figure-3b comparison even further toward the
+memory-bandwidth-rich Lite variants.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.metrics import normalize_to_baseline
+from repro.core.search import search_best_config
+from repro.hardware.gpu import H100, LITE, LITE_MEMBW
+from repro.workloads.moe import MIXTRAL_8X7B
+from repro.workloads.models import LLAMA3_70B
+
+from conftest import emit
+
+GPUS = (H100, LITE, LITE_MEMBW)
+
+
+def _moe_panel():
+    out = {}
+    for model in (LLAMA3_70B, MIXTRAL_8X7B):
+        series = {}
+        for gpu in GPUS:
+            for phase in ("prefill", "decode"):
+                result = search_best_config(model, gpu, phase)
+                series[(gpu.name, phase)] = result.best_tokens_per_s_per_sm
+        out[model.name] = series
+    return out
+
+
+def test_ext_moe(benchmark):
+    panel = benchmark.pedantic(_moe_panel, rounds=1, iterations=1)
+    rows = []
+    for model, series in panel.items():
+        for phase in ("prefill", "decode"):
+            sub = {g.name: series[(g.name, phase)] for g in GPUS}
+            norm = normalize_to_baseline(sub, "H100")
+            rows.append(
+                [model, phase] + [f"{norm[g.name]:.3f}" for g in GPUS]
+            )
+    emit(
+        "Extension: MoE (Mixtral-8x7B) vs dense (Llama3-70B), normalized to H100",
+        format_table(["model", "phase"] + [g.name for g in GPUS], rows),
+    )
+    dense = panel["Llama3-70B"]
+    moe = panel["Mixtral-8x7B"]
+    dense_gain = dense[("Lite+MemBW", "decode")] / dense[("H100", "decode")]
+    moe_gain = moe[("Lite+MemBW", "decode")] / moe[("H100", "decode")]
+    # The MemBW advantage is amplified for MoE decode.
+    assert moe_gain > dense_gain > 1.0
+    # Prefill stays roughly neutral for both.
+    assert abs(moe[("Lite", "prefill")] / moe[("H100", "prefill")] - 1.0) < 0.15

@@ -1,0 +1,60 @@
+"""Extension: distributed training on Lite clusters.
+
+Section 3 worries that Lite-GPUs multiply device counts most where clusters
+are already huge: training.  The roofline extension quantifies it — Lite
+training pays a real collective tax (long sequences make the per-layer
+all-reduce payloads large), and buying network bandwidth claws most of it
+back.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.training import TrainingConfig, equivalent_lite_training, train_step
+from repro.hardware.gpu import H100, LITE, LITE_NETBW
+from repro.workloads.models import LLAMA3_70B
+
+from conftest import emit
+
+H100_CFG = TrainingConfig(data_parallel=8, tensor=8, micro_batch=1, global_batch=64)
+
+
+def _training_matrix():
+    lite_cfg = equivalent_lite_training(LLAMA3_70B, H100_CFG, LITE)
+    return [
+        ("H100", train_step(LLAMA3_70B, H100, H100_CFG)),
+        ("Lite", train_step(LLAMA3_70B, LITE, lite_cfg)),
+        ("Lite+NetBW", train_step(LLAMA3_70B, LITE_NETBW, lite_cfg)),
+    ]
+
+
+def test_ext_training(benchmark):
+    records = benchmark(_training_matrix)
+    h100 = records[0][1]
+    rows = []
+    for name, result in records:
+        rows.append(
+            [
+                name,
+                result.config.n_gpus,
+                f"dp{result.config.data_parallel} x tp{result.config.tensor}",
+                f"{result.tokens_per_s:,.0f}",
+                f"{result.mfu:.2f}",
+                f"{result.tokens_per_s_per_sm / h100.tokens_per_s_per_sm:.2f}",
+                "yes" if result.fits_memory else "no",
+            ]
+        )
+    emit(
+        "Extension: Llama3-70B training at equal silicon (BF16, ZeRO-1, seq 4096)",
+        format_table(
+            ["fleet", "GPUs", "layout", "tok/s", "MFU", "per-SM vs H100", "fits"],
+            rows,
+        ),
+    )
+    by_name = dict(records)
+    # The training tax is real and larger than the inference one...
+    assert by_name["Lite"].tokens_per_s_per_sm < 0.8 * h100.tokens_per_s_per_sm
+    # ...and network bandwidth buys most of it back.
+    assert by_name["Lite+NetBW"].tokens_per_s_per_sm > by_name["Lite"].tokens_per_s_per_sm * 1.15
+    # All layouts converge identically (same global batch) and fit memory.
+    assert all(r.fits_memory for _, r in records)

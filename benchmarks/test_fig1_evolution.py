@@ -1,0 +1,40 @@
+"""Figure 1: evolution of GPUs in AI clusters — regenerate the trend table."""
+
+from __future__ import annotations
+
+from repro.analysis.figures import fig1_evolution_series
+from repro.analysis.tables import format_table
+from repro.hardware.die import RETICLE_LIMIT_MM2
+from repro.hardware.evolution import evolution_trends
+
+from conftest import emit
+
+
+def test_fig1_evolution(benchmark):
+    rows = benchmark(fig1_evolution_series)
+    headers = [
+        "name", "year", "dies", "die_area_mm2", "total_area_mm2",
+        "transistors_b", "tdp_w", "hbm_gb", "mem_bw_gbs", "packaging",
+    ]
+    emit(
+        "Figure 1: evolution of data-center GPUs",
+        format_table(headers, [[r[h] for h in headers] for r in rows]),
+    )
+    trends = evolution_trends()
+    emit(
+        "Figure 1 trends",
+        (
+            f"transistors x{trends['transistor_growth']:.0f}, "
+            f"per-die area x{trends['per_die_area_growth']:.2f} (reticle-bound), "
+            f"packaged dies x{trends['dies_per_package_growth']:.0f}, "
+            f"TDP x{trends['tdp_growth']:.1f}, "
+            f"power density x{trends['power_density_growth']:.1f} "
+            f"over {trends['years']} years"
+        ),
+    )
+    # The figure's story: dies hit the reticle wall; packaging + power absorb
+    # the growth.
+    assert all(r["die_area_mm2"] <= RETICLE_LIMIT_MM2 for r in rows)
+    assert trends["transistor_growth"] > 10
+    assert trends["per_die_area_growth"] < 1.5
+    assert trends["dies_per_package_growth"] >= 2

@@ -1,0 +1,34 @@
+"""Figure 2: one H100 replaced by four Lite-GPUs — the deployment math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import fig2_deployment_comparison
+
+from conftest import emit
+
+
+def test_fig2_deployment(benchmark):
+    fig2 = benchmark(fig2_deployment_comparison)
+    emit(
+        "Figure 2: 1x H100 -> 4x Lite-GPU deployment",
+        "\n".join(
+            [
+                f"yield:                 {fig2['parent_yield']:.3f} -> {fig2['lite_yield']:.3f} "
+                f"(x{fig2['yield_gain']:.2f}; paper: 1.8x)",
+                f"compute-die cost:      ${fig2['parent_die_cost']:.0f} -> "
+                f"${fig2['lite_group_die_cost']:.0f} for 4 dies "
+                f"(-{fig2['cost_reduction']:.0%}; paper: ~50%)",
+                f"total shoreline:       x{fig2['shoreline_gain']:.2f} (paper: 2x)",
+                f"bandwidth-to-compute:  potential x{fig2['bw_to_compute_potential']:.2f}, "
+                f"realized by Lite+MemBW x{fig2['bw_to_compute_realized']:.2f}",
+                f"power density:         x{fig2['power_density_ratio']:.2f} (unchanged; "
+                "cooling is easier per package)",
+            ]
+        ),
+    )
+    assert fig2["yield_gain"] == pytest.approx(1.8, abs=0.1)
+    assert fig2["cost_reduction"] == pytest.approx(0.5, abs=0.1)
+    assert fig2["shoreline_gain"] == pytest.approx(2.0)
+    assert fig2["bw_to_compute_realized"] == pytest.approx(2.0, rel=0.01)

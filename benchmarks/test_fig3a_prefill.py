@@ -1,0 +1,47 @@
+"""Figure 3a: prompt prefill — normalized tokens/s/SM across GPU types.
+
+Regenerates the paper's left panel: for Llama3-70B, GPT3-175B and
+Llama3-405B, the best (batch, #GPUs) configuration per GPU type under
+TTFT <= 1 s, plotted as tokens/s/SM normalized to H100.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import FIG3A_GPUS, fig3a_prefill_series
+from repro.analysis.tables import format_table, render_fig3_panel
+from repro.core.search import search_best_config
+from repro.workloads.models import PAPER_MODELS
+
+from conftest import emit
+
+MODELS = ("Llama3-70B", "GPT3-175B", "Llama3-405B")
+
+
+def test_fig3a_prefill(benchmark):
+    series = benchmark.pedantic(fig3a_prefill_series, rounds=3, iterations=1)
+    emit("Figure 3a: prefill (normalized tokens/s/SM)", render_fig3_panel(series, ""))
+
+    # Winning configurations (the paper notes the search may pick fewer GPUs
+    # than the maximum).
+    rows = []
+    for model in PAPER_MODELS:
+        for gpu in FIG3A_GPUS:
+            best = search_best_config(model, gpu, "prefill").best
+            rows.append(
+                [model.name, gpu.name, best.n_gpus, best.batch,
+                 f"{best.result.latency * 1e3:.0f} ms",
+                 f"{best.tokens_per_s_per_sm:.1f}"]
+            )
+    emit(
+        "Figure 3a winning configurations",
+        format_table(["model", "gpu", "#GPUs", "batch", "TTFT", "tok/s/SM"], rows),
+    )
+
+    # Caption shape: all similar for the small model; Lite degrades with
+    # model size (network); +NetBW compensates; +FLOPS improves further.
+    assert abs(series["Llama3-70B"]["Lite"] - 1.0) < 0.1
+    lite = [series[m]["Lite"] for m in MODELS]
+    assert lite[0] >= lite[2] and lite[2] < 0.9
+    assert series["Llama3-405B"]["Lite+NetBW"] > 0.9
+    for model in MODELS:
+        assert series[model]["Lite+NetBW+FLOPS"] >= series[model]["Lite+NetBW"] - 0.02

@@ -1,0 +1,48 @@
+"""Figure 3b: decode — normalized tokens/s/SM across GPU types.
+
+Regenerates the paper's right panel: best configurations under TBT <= 50 ms,
+tokens/s/SM normalized to H100.  Expected shape (caption): Lite
+underperforms (worse for GPT-3); Lite+MemBW exceeds H100; +NetBW helps more.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import FIG3B_GPUS, fig3b_decode_series
+from repro.analysis.tables import format_table, render_fig3_panel
+from repro.core.search import search_best_config
+from repro.workloads.models import PAPER_MODELS
+
+from conftest import emit
+
+MODELS = ("Llama3-70B", "GPT3-175B", "Llama3-405B")
+
+
+def test_fig3b_decode(benchmark):
+    series = benchmark.pedantic(fig3b_decode_series, rounds=3, iterations=1)
+    emit("Figure 3b: decode (normalized tokens/s/SM)", render_fig3_panel(series, ""))
+
+    rows = []
+    for model in PAPER_MODELS:
+        for gpu in FIG3B_GPUS:
+            best = search_best_config(model, gpu, "decode").best
+            rows.append(
+                [model.name, gpu.name, best.n_gpus, best.batch,
+                 f"{best.result.latency * 1e3:.1f} ms",
+                 f"{best.tokens_per_s_per_sm:.2f}"]
+            )
+    emit(
+        "Figure 3b winning configurations",
+        format_table(["model", "gpu", "#GPUs", "batch", "TBT", "tok/s/SM"], rows),
+    )
+
+    # Caption shape.
+    for model in MODELS:
+        assert series[model]["Lite"] < 1.0
+    assert series["GPT3-175B"]["Lite"] <= series["Llama3-70B"]["Lite"] + 1e-9
+    assert series["Llama3-70B"]["Lite+MemBW"] > 1.0
+    assert series["GPT3-175B"]["Lite+MemBW"] > 1.0
+    for model in MODELS:
+        assert series[model]["Lite+MemBW+NetBW"] >= series[model]["Lite+MemBW"]
+    # Documented divergence: 405B Lite+MemBW stays below H100 under our
+    # collective model (EXPERIMENTS.md); +NetBW recovers it.
+    assert series["Llama3-405B"]["Lite+MemBW+NetBW"] > 1.0

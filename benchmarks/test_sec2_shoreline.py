@@ -1,0 +1,49 @@
+"""Section 2 claim: 1/4 die area -> 2x bandwidth-to-compute (shoreline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.hardware.die import DieSpec, shoreline_ratio
+from repro.hardware.gpu import H100
+from repro.hardware.scaling import LiteScaling, group_properties
+
+from conftest import emit
+
+
+def _shoreline_table():
+    die = DieSpec(H100.die.area_mm2)
+    rows = []
+    for split in (1, 2, 4, 8, 16):
+        part = die.split(split)
+        rows.append(
+            [
+                split,
+                f"{part.area_mm2:.0f}",
+                f"{part.perimeter_mm:.1f}",
+                f"{part.perimeter_mm * split:.1f}",
+                f"{shoreline_ratio(split):.2f}x",
+            ]
+        )
+    return rows
+
+
+def test_sec2_shoreline(benchmark):
+    rows = benchmark(_shoreline_table)
+    emit(
+        "Section 2: shoreline vs. split factor (H100-class 814 mm^2 die)",
+        format_table(
+            ["split", "die mm^2", "perimeter mm", "total perimeter mm", "shoreline gain"],
+            rows,
+        ),
+    )
+    assert shoreline_ratio(4) == pytest.approx(2.0)
+
+    group = group_properties(H100, LiteScaling(split=4, mem_bw_boost=2.0))
+    emit(
+        "Shoreline spent on HBM (Lite+MemBW)",
+        f"bandwidth-to-compute gain x{group['bw_to_compute_gain']:.2f} at "
+        f"{group['total_mem_bandwidth'] / 1e12:.2f} TB/s aggregate",
+    )
+    assert group["bw_to_compute_gain"] == pytest.approx(2.0)

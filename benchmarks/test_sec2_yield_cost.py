@@ -1,0 +1,71 @@
+"""Section 2 claims: yield x1.8 and ~50% manufacturing-cost reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.hardware.cost import CostModel
+from repro.hardware.wafer import WaferSpec, dies_per_wafer
+from repro.hardware.yieldmodel import YieldModel, murphy_yield, yield_gain
+
+from conftest import emit
+
+H100_AREA = 814.0
+
+
+def _yield_cost_table():
+    """Yield and per-good-die cost across split factors."""
+    wafer = WaferSpec()
+    ym = YieldModel.murphy()
+    rows = []
+    base_cost = wafer.cost_per_good_die(H100_AREA, ym)
+    for split in (1, 2, 4, 8, 16):
+        area = H100_AREA / split
+        cost = wafer.cost_per_good_die(area, ym) * split
+        rows.append(
+            [
+                split,
+                f"{area:.0f}",
+                dies_per_wafer(area),
+                f"{murphy_yield(area):.3f}",
+                f"{yield_gain(H100_AREA, split):.2f}x",
+                f"${cost:.0f}",
+                f"{1 - cost / base_cost:.0%}",
+            ]
+        )
+    return rows
+
+
+def test_sec2_yield_and_cost(benchmark):
+    rows = benchmark(_yield_cost_table)
+    emit(
+        "Section 2: yield and silicon cost vs. split factor (Murphy, D0=0.1/cm^2)",
+        format_table(
+            ["split", "die mm^2", "dies/wafer", "yield", "yield gain", "cost/equiv", "saving"],
+            rows,
+        ),
+    )
+    # The paper's two headline numbers at split=4.
+    assert yield_gain(H100_AREA, 4) == pytest.approx(1.8, abs=0.1)
+    assert CostModel().cost_reduction(H100_AREA, 4) == pytest.approx(0.5, abs=0.08)
+
+
+def test_sec2_cost_model_sensitivity(benchmark):
+    """The ~50% saving is robust across plausible defect densities."""
+
+    def sweep():
+        return {
+            d0: CostModel(yield_model=YieldModel.murphy(d0)).cost_reduction(H100_AREA, 4)
+            for d0 in (0.05, 0.08, 0.10, 0.15, 0.20)
+        }
+
+    savings = benchmark(sweep)
+    emit(
+        "Section 2: cost saving vs. defect density",
+        "\n".join(f"D0={d0:.2f}/cm^2 -> saving {s:.0%}" for d0, s in savings.items()),
+    )
+    assert all(0.25 < s < 0.75 for s in savings.values())
+    # Saving grows with defect density (yield matters more on bad processes).
+    values = list(savings.values())
+    assert values == sorted(values)

@@ -1,0 +1,82 @@
+"""Section 3 data-center management: racks, density, cooling mix, reach."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.cluster.datacenter import lite_vs_h100_floor, plan_racks, reach_check
+from repro.hardware.cooling import CoolingKind
+from repro.hardware.gpu import H100, LITE
+from repro.network.links import COPPER_NVLINK, CPO_OPTICS, PLUGGABLE_OPTICS
+
+from conftest import emit
+
+
+def test_sec3_datacenter(benchmark):
+    comparison = benchmark(lite_vs_h100_floor, 512, H100, LITE)
+    h100_plan, lite_plan = comparison["h100"], comparison["lite"]
+    rows = [
+        [
+            p.gpu,
+            p.n_gpus,
+            p.gpus_per_rack,
+            p.n_racks,
+            f"{p.rack_power_kw:.0f} kW",
+            p.cooling.value,
+            f"{p.floor_m2:.0f} m^2",
+            f"{p.power_density_kw_m2:.1f} kW/m^2",
+        ]
+        for p in (h100_plan, lite_plan)
+    ]
+    emit(
+        "Section 3: data-center floor plan at equal compute (512 H100-equivalents)",
+        format_table(
+            ["gpu", "GPUs", "GPUs/rack", "racks", "rack power", "cooling", "floor", "density"],
+            rows,
+        ),
+    )
+    emit(
+        "Density/cooling deltas",
+        (
+            f"devices per m^2: x{comparison['devices_per_m2_ratio']:.2f}, "
+            f"power per m^2: x{comparison['power_density_ratio']:.2f}, "
+            f"liquid racks eliminated: {comparison['liquid_eliminated']}"
+        ),
+    )
+    # The paper's three sentences, as assertions.
+    assert comparison["devices_per_m2_ratio"] > 1.0
+    assert comparison["power_density_ratio"] < 1.0
+    assert comparison["liquid_eliminated"]
+    assert h100_plan.cooling is CoolingKind.LIQUID_COLD_PLATE
+    assert lite_plan.cooling is CoolingKind.AIR
+
+
+def test_sec3_reach(benchmark):
+    """Link reach vs deployment size: the CPO enabler."""
+
+    def sweep():
+        records = []
+        for n in (4, 128, 2048, 8192):
+            plan = plan_racks(LITE, n)
+            records.append(
+                (
+                    n,
+                    plan.n_racks,
+                    reach_check(plan, COPPER_NVLINK),
+                    reach_check(plan, CPO_OPTICS),
+                    reach_check(plan, PLUGGABLE_OPTICS),
+                )
+            )
+        return records
+
+    records = benchmark(sweep)
+    emit(
+        "Section 3: which link tech reaches across the deployment",
+        format_table(
+            ["Lite GPUs", "racks", "copper (3m)", "CPO (50m)", "pluggable (100m)"],
+            [[n, r, c, o, p] for n, r, c, o, p in records],
+        ),
+    )
+    by_n = {n: (c, o) for n, _, c, o, _ in records}
+    assert by_n[4] == (True, True)  # one rack: anything works
+    assert by_n[2048] == (False, True)  # flat Lite cluster needs optics
+    assert not by_n[8192][0]

@@ -1,0 +1,34 @@
+"""Table 1: GPU configurations — regenerate and verify verbatim."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table1, table1_rows
+
+from conftest import emit
+
+#: The paper's Table 1, row for row.
+EXPECTED = [
+    ("H100", 2000, 80, 3352, 450.0, 8),
+    ("Lite", 500, 20, 838, 112.5, 32),
+    ("Lite+NetBW", 500, 20, 838, 225.0, 32),
+    ("Lite+NetBW+FLOPS", 550, 20, 419, 225.0, 32),
+    ("Lite+MemBW", 500, 20, 1675, 112.5, 32),
+    ("Lite+MemBW+NetBW", 500, 20, 1675, 225.0, 32),
+]
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1_rows)
+    emit("Table 1: GPU configurations", render_table1())
+    got = [
+        (
+            r["GPU type"],
+            r["TFLOPS"],
+            r["Cap. GB"],
+            r["Mem BW GB/s"],
+            r["Net BW GB/s"],
+            r["#Max GPUs"],
+        )
+        for r in rows
+    ]
+    assert got == EXPECTED

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Capacity planning: performance per dollar across GPU types.
+
+Section 4 closes on "performance per $-cost, which is the primary metric for
+cloud operators".  This example prices whole deployments (GPU manufacturing
+cost model + network fabric) and ranks Table 1's GPU types by decode and
+prefill throughput per dollar for each paper model, then prints the
+cost-throughput Pareto frontier across all evaluated configurations.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.cluster.spec import ClusterSpec
+from repro.core.metrics import pareto_front
+from repro.core.search import search_best_config
+from repro.hardware.cost import CostModel
+from repro.hardware.gpu import H100, LITE, LITE_MEMBW, LITE_NETBW, LITE_NETBW_FLOPS, LITE_MEMBW_NETBW
+from repro.workloads.models import PAPER_MODELS
+
+GPUS = (H100, LITE, LITE_NETBW, LITE_NETBW_FLOPS, LITE_MEMBW, LITE_MEMBW_NETBW)
+
+
+def deployment_cost(gpu, n_gpus: int, cost_model: CostModel) -> float:
+    """GPU BOM + network capex for an n-GPU pod of this type."""
+    topology = "switched" if gpu.name == "H100" else "circuit"
+    cluster = ClusterSpec(gpu, n_gpus, topology)
+    return cluster.gpu_capex(cost_model) + cluster.fabric_report().capex_usd
+
+
+def main() -> None:
+    cost_model = CostModel()
+    for model in PAPER_MODELS:
+        print(f"== {model.name} ==")
+        rows = []
+        points = []
+        for phase in ("prefill", "decode"):
+            for gpu in GPUS:
+                result = search_best_config(model, gpu, phase)
+                if not result.feasible:
+                    rows.append([phase, gpu.name, "-", "-", "-", "infeasible"])
+                    continue
+                best = result.best
+                cost = deployment_cost(gpu, best.n_gpus, cost_model)
+                tput = best.result.tokens_per_s
+                rows.append(
+                    [
+                        phase,
+                        gpu.name,
+                        best.n_gpus,
+                        f"{tput:,.0f}",
+                        f"${cost:,.0f}",
+                        f"{tput / cost * 1000:.1f}",
+                    ]
+                )
+                if phase == "decode":
+                    points.append((cost, tput))
+        print(
+            format_table(
+                ["phase", "gpu", "#GPUs", "tokens/s", "deployment cost", "tok/s per k$"],
+                rows,
+            )
+        )
+        frontier = pareto_front(points)
+        pretty = ", ".join(f"(${c:,.0f} -> {t:,.0f} tok/s)" for c, t in frontier)
+        print(f"decode cost-throughput Pareto frontier: {pretty}\n")
+
+    print(
+        "Reading: even where a Lite variant only *matches* H100 throughput,\n"
+        "its deployment costs less (yield + packaging), so tokens per dollar\n"
+        "improve — the paper's bottom-line argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Design your own Lite-GPU: sweep split factors and shoreline allocations.
+
+The paper fixes one design point (1/4 of an H100, Table 1).  This example
+uses the scaling substrate to explore the design space: for each split
+factor and each way of spending the shoreline surplus (memory vs network
+bandwidth), derive the GPU, check it is physically buildable (shoreline
+budget, cooling), and score it on the paper's workloads.
+
+Run:  python examples/design_a_lite_gpu.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.search import search_best_config
+from repro.errors import SpecError
+from repro.hardware.cooling import CoolingModel
+from repro.hardware.gpu import H100
+from repro.hardware.scaling import LiteScaling, derive_lite_gpu
+from repro.hardware.yieldmodel import yield_gain
+from repro.workloads.models import LLAMA3_70B
+
+#: Candidate shoreline allocations: (mem boost, net boost, label).
+ALLOCATIONS = [
+    (1.0, 1.0, "plain split"),
+    (2.0, 1.0, "all-in memory"),
+    (1.0, 2.0, "all-in network"),
+    (1.5, 1.5, "balanced"),
+]
+
+
+def main() -> None:
+    h100_prefill = search_best_config(LLAMA3_70B, H100, "prefill").best_tokens_per_s_per_sm
+    h100_decode = search_best_config(LLAMA3_70B, H100, "decode").best_tokens_per_s_per_sm
+    cooling = CoolingModel()
+
+    rows = []
+    for split in (2, 4, 8):
+        for mem_boost, net_boost, label in ALLOCATIONS:
+            scaling = LiteScaling(split=split, mem_bw_boost=mem_boost, net_bw_boost=net_boost)
+            try:
+                scaling.validate(H100)
+            except SpecError:
+                rows.append([split, label, "-", "-", "-", "over shoreline budget"])
+                continue
+            gpu = derive_lite_gpu(H100, scaling, name=f"L{split}-{label}")
+            overclock = min(1.10, cooling.overclock_headroom(gpu))
+            gpu = gpu.with_clock_factor(overclock, name=gpu.name)
+            prefill = search_best_config(LLAMA3_70B, gpu, "prefill").best_tokens_per_s_per_sm
+            decode = search_best_config(LLAMA3_70B, gpu, "decode").best_tokens_per_s_per_sm
+            rows.append(
+                [
+                    split,
+                    label,
+                    f"{yield_gain(H100.die.area_mm2, split):.2f}x",
+                    f"{prefill / h100_prefill:.2f}",
+                    f"{decode / h100_decode:.2f}",
+                    f"overclock x{overclock:.2f}",
+                ]
+            )
+
+    print(
+        format_table(
+            ["split", "shoreline spent on", "yield gain", "prefill vs H100", "decode vs H100", "notes"],
+            rows,
+            title="Custom Lite-GPU design space (Llama3-70B, Table-1 methodology)",
+        )
+    )
+    print(
+        "\nReading: the design space is a real trade — memory-heavy designs\n"
+        "win decode, network-heavy designs protect prefill at high splits,\n"
+        "and every split multiplies the yield advantage.  The paper's\n"
+        "Table 1 variants are three corners of this space."
+    )
+
+
+if __name__ == "__main__":
+    main()

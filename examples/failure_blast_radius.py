@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Blast radius and hot spares: the Section 3 fault-tolerance study.
+
+Simulates 90 days of failures for an H100 fleet and an equal-silicon Lite
+fleet serving four Llama3-405B-class instances, sweeping hot-spare budgets.
+Shows the paper's two claims:
+
+- hardware blast radius: one Lite failure removes 4x less capacity;
+- spare overhead: one spare's silicon is 4x cheaper, so the Lite fleet
+  reaches the same availability at a fraction of the spare cost.
+
+Run:  python examples/failure_blast_radius.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.cluster.availability import SparePolicy, simulate_availability
+from repro.cluster.failures import (
+    BlastRadius,
+    FailureModel,
+    InstanceReliability,
+    scaled_lite_failure_model,
+)
+from repro.units import DAY, HOUR
+
+HORIZON = 90 * DAY
+GPU_MODEL = FailureModel(mtbf=400 * HOUR, mttr=24 * HOUR)  # aggressive regime
+LITE_MODEL = scaled_lite_failure_model(GPU_MODEL, 4)  # area-scaled reliability
+
+
+def main() -> None:
+    print("Hardware blast radius")
+    print(f"  one H100 failure: {BlastRadius(1, 132).capacity_fraction(8):.1%} of an 8-GPU cluster")
+    print(f"  one Lite failure: {BlastRadius(1, 33).capacity_fraction(32):.1%} of a 32-GPU cluster\n")
+
+    inst_h100 = InstanceReliability(8, GPU_MODEL)
+    inst_lite = InstanceReliability(32, LITE_MODEL)
+    print("Instance MTBF (any-GPU-fails, software blast radius)")
+    print(f"  8x H100 instance : {inst_h100.instance_mtbf / HOUR:.0f} h")
+    print(f"  32x Lite instance: {inst_lite.instance_mtbf / HOUR:.0f} h "
+          "(equal: 4x the devices at 1/4 the per-device rate)\n")
+
+    rows = []
+    for fleet, size, model, spare_counts, spare_cost_unit in (
+        ("H100", 8, GPU_MODEL, (0, 1, 2, 4), 1.0),
+        ("Lite", 32, LITE_MODEL, (0, 4, 8, 16), 0.25),
+    ):
+        for spares in spare_counts:
+            result = simulate_availability(
+                4, size, model, SparePolicy(spares=spares, swap_time=120.0),
+                horizon=HORIZON, seed=17,
+            )
+            rows.append(
+                [
+                    fleet,
+                    spares,
+                    f"{spares * spare_cost_unit:.2f} H100-equiv",
+                    f"{spares / (4 * size):.1%}",
+                    f"{result.instance_availability:.4f}",
+                    result.failures,
+                    f"{result.mean_outage:.0f} s",
+                ]
+            )
+    print(
+        format_table(
+            ["fleet", "spares", "spare silicon", "overhead", "availability", "failures", "mean outage"],
+            rows,
+            title="90-day Monte-Carlo: 4 model instances, hot-spare sweep",
+        )
+    )
+    print(
+        "\nReading: the Lite fleet buys availability in 1/4-sized, 1/4-priced\n"
+        "increments — matching the H100 fleet's availability at equal spare\n"
+        "silicon, with the option of finer steps in between."
+    )
+
+
+if __name__ == "__main__":
+    main()

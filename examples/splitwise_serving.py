@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Splitwise at Lite-GPU scale: phase-specialized serving, simulated.
+
+The paper (Sections 3-4) argues Lite-GPUs let operators customize hardware
+per inference phase "at much finer scale" than Splitwise's cluster-level
+split: racks of +FLOPS Lite-GPUs for prefill, racks of +MemBW Lite-GPUs for
+decode.  This example runs the discrete-event serving simulator on the same
+Poisson trace against three deployments of equal total SMs:
+
+1. classic:       8x H100            (2 prefill + 2 decode instances of 2)
+2. uniform Lite:  32x Lite           (same layout, 8 GPUs per instance)
+3. specialized:   16x Lite+NetBW+FLOPS prefill + 16x Lite+MemBW decode
+
+Run:  python examples/splitwise_serving.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.cluster.scheduler import InstanceSpec, PhasePools
+from repro.cluster.simulator import ServingSimulator, SimConfig
+from repro.hardware.gpu import H100, LITE, LITE_MEMBW, LITE_NETBW_FLOPS
+from repro.workloads.models import LLAMA3_70B
+from repro.workloads.traces import TraceConfig, generate_trace
+
+
+def deployment(prefill_gpu, decode_gpu, gpus_per_instance) -> PhasePools:
+    return PhasePools(
+        prefill=InstanceSpec(LLAMA3_70B, prefill_gpu, gpus_per_instance),
+        n_prefill=2,
+        decode=InstanceSpec(LLAMA3_70B, decode_gpu, gpus_per_instance),
+        n_decode=2,
+        max_prefill_batch=4,
+        max_decode_batch=256,
+    )
+
+
+def main() -> None:
+    trace = generate_trace(
+        TraceConfig(rate=6.0, duration=60.0, output_tokens=150, output_spread=0.5),
+        seed=42,
+    )
+    print(f"trace: {len(trace)} requests, 1500-token prompts, ~150-token outputs\n")
+
+    deployments = [
+        ("8x H100", deployment(H100, H100, 2)),
+        ("32x Lite (uniform)", deployment(LITE, LITE, 8)),
+        ("32x Lite (specialized)", deployment(LITE_NETBW_FLOPS, LITE_MEMBW, 8)),
+    ]
+
+    rows = []
+    config = SimConfig(max_sim_time=900.0)
+    for name, pools in deployments:
+        report = ServingSimulator(pools, config).run(trace)
+        rows.append(
+            [
+                name,
+                report.completed,
+                f"{report.ttft_p50 * 1e3:.0f} / {report.ttft_p99 * 1e3:.0f}",
+                f"{report.tbt_mean * 1e3:.1f}",
+                f"{report.e2e_p50:.2f}",
+                f"{report.output_tokens_per_s:.0f}",
+                f"{report.decode_utilization:.2f}",
+            ]
+        )
+
+    print(
+        format_table(
+            ["deployment", "done", "TTFT p50/p99 ms", "TBT ms", "e2e p50 s", "tok/s", "dec util"],
+            rows,
+            title="Llama3-70B serving, equal total SMs (two prefill + two decode instances)",
+        )
+    )
+    print(
+        "\nReading: the specialized Lite deployment turns the hardware knobs\n"
+        "the phases actually care about — overclocked compute for prefill,\n"
+        "doubled HBM bandwidth for decode — and beats both uniform layouts\n"
+        "on TBT at the same silicon budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that editable installs
+work on environments whose setuptools predates PEP 660 native editable
+support (offline images without the `wheel` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""A tiny named-spec registry used by the GPU / model / link catalogues.
+
+Several subsystems keep a catalogue of named immutable specs (GPU types from
+Table 1, the evaluated LLMs, link technologies).  ``Registry`` provides the
+shared behaviour: case-insensitive lookup, helpful error messages listing the
+known names, and iteration in registration order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, TypeVar
+
+from .errors import RegistryError
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """An ordered, case-insensitive mapping from names to spec objects."""
+
+    def __init__(self, kind: str) -> None:
+        self._kind = kind
+        self._items: Dict[str, T] = {}
+        self._display: Dict[str, str] = {}
+
+    @staticmethod
+    def _key(name: str) -> str:
+        return name.strip().lower().replace("-", "").replace("_", "").replace(" ", "")
+
+    def register(self, name: str, item: T, overwrite: bool = False) -> T:
+        """Register ``item`` under ``name``; returns the item for chaining."""
+        key = self._key(name)
+        if key in self._items and not overwrite:
+            raise RegistryError(f"{self._kind} '{name}' already registered")
+        self._items[key] = item
+        self._display[key] = name
+        return item
+
+    def get(self, name: str) -> T:
+        """Look up a spec by name (case / dash / underscore insensitive)."""
+        key = self._key(name)
+        if key not in self._items:
+            known = ", ".join(sorted(self._display.values()))
+            raise RegistryError(f"unknown {self._kind} '{name}'; known: {known}")
+        return self._items[key]
+
+    def __contains__(self, name: str) -> bool:
+        return self._key(name) in self._items
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items.values())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def names(self) -> List[str]:
+        """Display names in registration order."""
+        return list(self._display.values())

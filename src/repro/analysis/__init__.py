@@ -1,0 +1,32 @@
+"""Analysis helpers: figure/table builders shared by benchmarks and examples.
+
+- :mod:`repro.analysis.figures` — compute every Figure 1/2/3 data series.
+- :mod:`repro.analysis.tables` — plain-text table rendering (no plotting
+  dependencies; benches print the same rows the paper's figures encode).
+- :mod:`repro.analysis.sweeps` — parameter-sweep utilities for ablations.
+- :mod:`repro.analysis.report` — textual experiment reports.
+"""
+
+from .figures import (
+    fig1_evolution_series,
+    fig2_deployment_comparison,
+    fig3_series,
+    fig3a_prefill_series,
+    fig3b_decode_series,
+)
+from .tables import format_table, table1_rows
+from .sweeps import sweep_1d, sweep_grid
+from .report import experiment_report
+
+__all__ = [
+    "fig1_evolution_series",
+    "fig2_deployment_comparison",
+    "fig3_series",
+    "fig3a_prefill_series",
+    "fig3b_decode_series",
+    "format_table",
+    "table1_rows",
+    "sweep_1d",
+    "sweep_grid",
+    "experiment_report",
+]

@@ -1,0 +1,52 @@
+"""Parameter-sweep helpers for ablation benchmarks.
+
+Thin, dependency-free utilities: evaluate a callable over one- or
+two-dimensional parameter grids and return records suitable for table
+rendering or numpy post-processing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from ..errors import SpecError
+
+
+def sweep_1d(
+    fn: Callable[[object], object],
+    values: Sequence,
+    name: str = "x",
+) -> List[Dict]:
+    """Evaluate ``fn`` at each value; returns [{name: v, "result": fn(v)}].
+
+    >>> sweep_1d(lambda x: x * x, [1, 2, 3])
+    [{'x': 1, 'result': 1}, {'x': 2, 'result': 4}, {'x': 3, 'result': 9}]
+    """
+    if not values:
+        raise SpecError("values must be non-empty")
+    return [{name: v, "result": fn(v)} for v in values]
+
+
+def sweep_grid(
+    fn: Callable[[object, object], object],
+    xs: Sequence,
+    ys: Sequence,
+    x_name: str = "x",
+    y_name: str = "y",
+) -> List[Dict]:
+    """Evaluate ``fn`` over the cross product of ``xs`` and ``ys``."""
+    if not xs or not ys:
+        raise SpecError("grids must be non-empty")
+    records = []
+    for x in xs:
+        for y in ys:
+            records.append({x_name: x, y_name: y, "result": fn(x, y)})
+    return records
+
+
+def argbest(records: Iterable[Dict], key: Callable[[Dict], float], maximize: bool = True) -> Dict:
+    """The record with the best ``key`` value."""
+    records = list(records)
+    if not records:
+        raise SpecError("records must be non-empty")
+    return max(records, key=key) if maximize else min(records, key=key)

@@ -1,0 +1,89 @@
+"""Plain-text table rendering and the Table 1 rows.
+
+Benchmarks print these tables so the regenerated numbers are directly
+comparable with the paper; no plotting dependency is required offline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import SpecError
+from ..hardware.gpu import TABLE1_ORDER
+from ..units import GB, GB_PER_S, TFLOPS
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render an aligned plain-text table.
+
+    >>> lines = format_table(["a", "b"], [[1, 2.5]]).splitlines()
+    >>> lines[0].rstrip(), lines[2].rstrip()
+    ('a  b', '1  2.5')
+    """
+    if not headers:
+        raise SpecError("headers must be non-empty")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise SpecError("row width does not match headers")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == int(cell) and abs(cell) < 1e15:
+            return str(int(cell))
+        return f"{cell:.4g}" if abs(cell) < 10000 else f"{cell:,.0f}"
+    return str(cell)
+
+
+def table1_rows() -> List[Dict]:
+    """The paper's Table 1, regenerated from the GPU registry.
+
+    >>> rows = table1_rows()
+    >>> rows[0]["GPU type"], rows[0]["TFLOPS"]
+    ('H100', 2000)
+    """
+    rows = []
+    for gpu in TABLE1_ORDER:
+        rows.append(
+            {
+                "GPU type": gpu.name,
+                "TFLOPS": round(gpu.peak_flops / TFLOPS),
+                "Cap. GB": round(gpu.mem_capacity / GB),
+                "Mem BW GB/s": round(gpu.mem_bandwidth / GB_PER_S),
+                "Net BW GB/s": gpu.net_bandwidth / GB_PER_S,
+                "#Max GPUs": gpu.max_cluster,
+            }
+        )
+    return rows
+
+
+def render_table1() -> str:
+    """Table 1 as printable text."""
+    rows = table1_rows()
+    headers = list(rows[0].keys())
+    return format_table(headers, [[row[h] for h in headers] for row in rows], title="Table 1: GPU configurations")
+
+
+def render_fig3_panel(series: Dict[str, Dict[str, float]], title: str) -> str:
+    """Render a Figure 3 panel's normalized series as a table."""
+    models = [k for k in series if k != "__raw__"]
+    if not models:
+        raise SpecError("series has no model entries")
+    gpus = list(series[models[0]].keys())
+    rows = []
+    for model in models:
+        rows.append([model] + [f"{series[model][g]:.3f}" for g in gpus])
+    return format_table(["model"] + gpus, rows, title=title)

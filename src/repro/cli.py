@@ -1,0 +1,139 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig1 | fig2 | fig3a | fig3b
+    python -m repro report                       # everything
+    python -m repro search --model Llama3-70B --gpu Lite+MemBW --phase decode
+    python -m repro tco --model Llama3-70B
+
+All subcommands print plain text; nothing touches the network or disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.figures import (
+    fig1_evolution_series,
+    fig2_deployment_comparison,
+    fig3a_prefill_series,
+    fig3b_decode_series,
+)
+from .analysis.report import experiment_report
+from .analysis.tables import format_table, render_fig3_panel, render_table1
+from .cluster.spec import ClusterSpec
+from .core.search import search_best_config
+from .hardware.gpu import H100, get_gpu
+from .hardware.tco import cluster_tco, tokens_per_dollar_comparison
+from .workloads.models import get_model
+
+
+def _cmd_table1(_: argparse.Namespace) -> None:
+    print(render_table1())
+
+
+def _cmd_fig1(_: argparse.Namespace) -> None:
+    rows = fig1_evolution_series()
+    headers = ["name", "year", "dies", "die_area_mm2", "transistors_b", "tdp_w", "mem_bw_gbs", "packaging"]
+    print(format_table(headers, [[r[h] for h in headers] for r in rows],
+                       title="Figure 1: evolution of data-center GPUs"))
+
+
+def _cmd_fig2(_: argparse.Namespace) -> None:
+    fig2 = fig2_deployment_comparison()
+    print(
+        "Figure 2 (1x H100 -> 4x Lite): "
+        f"yield x{fig2['yield_gain']:.2f}, cost -{fig2['cost_reduction']:.0%}, "
+        f"shoreline x{fig2['shoreline_gain']:.2f}, "
+        f"bandwidth-to-compute potential x{fig2['bw_to_compute_potential']:.2f}"
+    )
+
+
+def _cmd_fig3a(_: argparse.Namespace) -> None:
+    print(render_fig3_panel(fig3a_prefill_series(), "Figure 3a: prefill (normalized tokens/s/SM)"))
+
+
+def _cmd_fig3b(_: argparse.Namespace) -> None:
+    print(render_fig3_panel(fig3b_decode_series(), "Figure 3b: decode (normalized tokens/s/SM)"))
+
+
+def _cmd_report(_: argparse.Namespace) -> None:
+    print(experiment_report())
+
+
+def _cmd_search(args: argparse.Namespace) -> None:
+    model = get_model(args.model)
+    gpu = get_gpu(args.gpu)
+    result = search_best_config(model, gpu, args.phase)
+    print(result.describe())
+    if result.best and args.verbose:
+        breakdown = result.best.result.breakdown()
+        for stage, share in breakdown.items():
+            print(f"  {stage:12s} {share:6.1%}")
+        print(f"  bound by: {result.best.result.bound_by()}")
+
+
+def _cmd_tco(args: argparse.Namespace) -> None:
+    model = get_model(args.model)
+    h100_best = search_best_config(model, H100, "decode").best
+    lite = get_gpu(args.gpu)
+    lite_best = search_best_config(model, lite, "decode").best
+    if h100_best is None or lite_best is None:
+        print("no feasible configuration", file=sys.stderr)
+        raise SystemExit(1)
+    comparison = tokens_per_dollar_comparison(
+        ClusterSpec(H100, h100_best.n_gpus, "switched"),
+        ClusterSpec(lite, lite_best.n_gpus, "circuit"),
+        h100_best.result.tokens_per_s,
+        lite_best.result.tokens_per_s,
+    )
+    print(
+        f"{model.name} decode unit economics:\n"
+        f"  H100 ({h100_best.n_gpus} GPUs): ${comparison['h100_usd_per_mtoken']:.3f}/Mtok "
+        f"(${comparison['h100_per_hour']:.2f}/h)\n"
+        f"  {lite.name} ({lite_best.n_gpus} GPUs): ${comparison['lite_usd_per_mtoken']:.3f}/Mtok "
+        f"(${comparison['lite_per_hour']:.2f}/h)\n"
+        f"  Lite saving: {comparison['lite_saving']:.1%}"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Lite-GPU paper reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="print Table 1").set_defaults(fn=_cmd_table1)
+    sub.add_parser("fig1", help="print the Figure 1 dataset").set_defaults(fn=_cmd_fig1)
+    sub.add_parser("fig2", help="print the Figure 2 comparison").set_defaults(fn=_cmd_fig2)
+    sub.add_parser("fig3a", help="regenerate Figure 3a").set_defaults(fn=_cmd_fig3a)
+    sub.add_parser("fig3b", help="regenerate Figure 3b").set_defaults(fn=_cmd_fig3b)
+    sub.add_parser("report", help="full experiment report").set_defaults(fn=_cmd_report)
+
+    search = sub.add_parser("search", help="run the Section 4 configuration search")
+    search.add_argument("--model", default="Llama3-70B")
+    search.add_argument("--gpu", default="Lite+MemBW")
+    search.add_argument("--phase", choices=("prefill", "decode"), default="decode")
+    search.add_argument("--verbose", action="store_true")
+    search.set_defaults(fn=_cmd_search)
+
+    tco = sub.add_parser("tco", help="decode unit economics vs H100")
+    tco.add_argument("--model", default="Llama3-70B")
+    tco.add_argument("--gpu", default="Lite+MemBW")
+    tco.set_defaults(fn=_cmd_tco)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (returns an exit code)."""
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

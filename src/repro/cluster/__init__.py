@@ -1,0 +1,60 @@
+"""Cluster substrate: allocation, scheduling, failures, power, simulation.
+
+Makes Section 3's systems opportunities executable:
+
+- :mod:`repro.cluster.spec` — cluster composition and rollups.
+- :mod:`repro.cluster.allocator` — finer-granularity resource management.
+- :mod:`repro.cluster.failures` — failure models and blast radius.
+- :mod:`repro.cluster.availability` — Monte-Carlo availability + hot spares.
+- :mod:`repro.cluster.memory` — disaggregated memory pools and KV placement.
+- :mod:`repro.cluster.power_manager` — cluster-level clocking policies.
+- :mod:`repro.cluster.scheduler` — phase-split (Splitwise-style) scheduling.
+- :mod:`repro.cluster.simulator` — a discrete-event LLM serving simulator
+  whose service times come from the analytical model.
+"""
+
+from .spec import ClusterSpec, lite_equivalent
+from .allocator import Allocation, AllocationRequest, ResourceAllocator, quantization_waste
+from .datacenter import RackPlan, RackSpec, floor_plan, lite_vs_h100_floor, plan_racks, reach_check
+from .provisioning import ProvisioningPlan, WorkloadForecast, phase_gpu_ratio, provision_pools
+from .failures import BlastRadius, FailureModel, InstanceReliability
+from .availability import AvailabilityResult, SparePolicy, simulate_availability
+from .memory import DisaggregatedPool, KVPlacementPolicy, MemorySystem
+from .power_manager import ClusterPowerManager, PeakStrategy
+from .scheduler import PhasePools, PhaseSplitScheduler
+from .simulator import ServingSimulator, SimConfig, SimReport
+
+__all__ = [
+    "ClusterSpec",
+    "lite_equivalent",
+    "RackPlan",
+    "RackSpec",
+    "floor_plan",
+    "lite_vs_h100_floor",
+    "plan_racks",
+    "reach_check",
+    "ProvisioningPlan",
+    "WorkloadForecast",
+    "phase_gpu_ratio",
+    "provision_pools",
+    "Allocation",
+    "AllocationRequest",
+    "ResourceAllocator",
+    "quantization_waste",
+    "BlastRadius",
+    "FailureModel",
+    "InstanceReliability",
+    "AvailabilityResult",
+    "SparePolicy",
+    "simulate_availability",
+    "DisaggregatedPool",
+    "KVPlacementPolicy",
+    "MemorySystem",
+    "ClusterPowerManager",
+    "PeakStrategy",
+    "PhasePools",
+    "PhaseSplitScheduler",
+    "ServingSimulator",
+    "SimConfig",
+    "SimReport",
+]

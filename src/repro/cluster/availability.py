@@ -1,0 +1,234 @@
+"""Monte-Carlo availability simulation with hot spares.
+
+Section 3: *"One approach to dealing with such rigid, software-imposed GPU
+configurations is to include hot spares ... Lite-GPUs can suit this approach
+particularly well as a cluster of Lite-GPUs are larger with each additional
+Lite-GPU being smaller and cheaper.  This reduces the proportional overhead
+of including spare Lite-GPUs."*
+
+The simulation serves ``n_instances`` model instances of ``instance_size``
+GPUs each from a fleet with ``spares`` hot spares.  GPUs fail (exponential,
+per :class:`~repro.cluster.failures.FailureModel`) and enter repair; a downed
+instance swaps the failed GPU for a spare after ``swap_time`` (KV-cache /
+weight re-shard time) if one is free, otherwise it waits for the earliest
+repair.  Outputs: instance availability, served-capacity fraction, spare
+occupancy, and the spare *overhead* (spare silicon as a fraction of serving
+silicon) — the quantity the paper argues shrinks with Lite-GPUs.
+
+The event loop is a simple priority queue over failure / repair / swap
+events; everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import SimulationError, SpecError
+from ..units import HOUR
+from .failures import FailureModel
+
+
+@dataclass(frozen=True)
+class SparePolicy:
+    """Hot-spare provisioning and swap behaviour."""
+
+    spares: int = 0
+    swap_time: float = 120.0  # seconds to re-shard onto a hot spare
+
+    def __post_init__(self) -> None:
+        if self.spares < 0:
+            raise SpecError("spares must be non-negative")
+        if self.swap_time < 0:
+            raise SpecError("swap_time must be non-negative")
+
+    def overhead(self, serving_gpus: int) -> float:
+        """Spare silicon as a fraction of serving silicon."""
+        if serving_gpus <= 0:
+            raise SpecError("serving_gpus must be positive")
+        return self.spares / serving_gpus
+
+
+@dataclass(frozen=True)
+class AvailabilityResult:
+    """Outcome of one availability simulation."""
+
+    horizon: float
+    n_instances: int
+    instance_size: int
+    spares: int
+    instance_availability: float
+    served_capacity: float
+    failures: int
+    swaps: int
+    mean_outage: float
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.n_instances}x{self.instance_size} GPUs +{self.spares} spares: "
+            f"availability {self.instance_availability:.4f}, "
+            f"served capacity {self.served_capacity:.4f}, "
+            f"{self.failures} failures, {self.swaps} swaps, "
+            f"mean outage {self.mean_outage:.0f}s"
+        )
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    gpu: int = field(compare=False, default=-1)
+
+
+def simulate_availability(
+    n_instances: int,
+    instance_size: int,
+    model: FailureModel,
+    policy: SparePolicy | None = None,
+    horizon: float = 30 * 24 * HOUR,
+    seed: int = 0,
+) -> AvailabilityResult:
+    """Simulate ``n_instances`` instances for ``horizon`` seconds.
+
+    Every GPU (serving or spare) fails independently; repaired GPUs join the
+    spare pool.  An instance is *down* from the failure of any member GPU
+    until a replacement is installed (swap time after a spare frees up).
+
+    >>> r = simulate_availability(2, 4, FailureModel(), SparePolicy(spares=1),
+    ...                           horizon=30 * 24 * 3600.0, seed=1)
+    >>> 0.0 <= r.instance_availability <= 1.0
+    True
+    """
+    if n_instances <= 0 or instance_size <= 0:
+        raise SpecError("n_instances and instance_size must be positive")
+    if horizon <= 0:
+        raise SpecError("horizon must be positive")
+    policy = policy or SparePolicy()
+    rng = np.random.default_rng(seed)
+    serving = n_instances * instance_size
+    total = serving + policy.spares
+
+    seq = itertools.count()
+    events: List[_Event] = []
+
+    def schedule(time: float, kind: str, gpu: int = -1) -> None:
+        heapq.heappush(events, _Event(time, next(seq), kind, gpu))
+
+    # gpu -> instance id (or None when in the spare pool / repair).
+    gpu_instance: List[Optional[int]] = [None] * total
+    for inst in range(n_instances):
+        for j in range(instance_size):
+            gpu_instance[inst * instance_size + j] = inst
+    spare_pool: List[int] = list(range(serving, total))
+    # instance -> number of missing GPUs; downtime accounting.
+    missing = [0] * n_instances
+    down_since = [0.0] * n_instances
+    downtime = [0.0] * n_instances
+    waiting: List[int] = []  # instances waiting for a spare
+    outages: List[float] = []
+
+    for gpu in range(total):
+        schedule(float(rng.exponential(model.mtbf)), "fail", gpu)
+
+    failures = 0
+    swaps = 0
+    now = 0.0
+    while events:
+        event = heapq.heappop(events)
+        if event.time > horizon:
+            break
+        now = event.time
+
+        if event.kind == "fail":
+            failures += 1
+            inst = gpu_instance[event.gpu]
+            if inst is not None:
+                gpu_instance[event.gpu] = None
+                if missing[inst] == 0:
+                    down_since[inst] = now
+                missing[inst] += 1
+                waiting.append(inst)
+            elif event.gpu in spare_pool:
+                spare_pool.remove(event.gpu)
+            schedule(now + float(rng.exponential(model.mttr)), "repair", event.gpu)
+
+        elif event.kind == "repair":
+            spare_pool.append(event.gpu)
+            # A repaired GPU re-enters service with a fresh lifetime.
+            schedule(now + float(rng.exponential(model.mtbf)), "fail", event.gpu)
+
+        elif event.kind == "swap":
+            inst = event.gpu  # reused field: instance id
+            missing[inst] -= 1
+            if missing[inst] == 0:
+                duration = now - down_since[inst]
+                downtime[inst] += duration
+                outages.append(duration)
+            swaps += 1
+            continue
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event kind {event.kind}")
+
+        # Match waiting instances with free spares.
+        while waiting and spare_pool:
+            inst = waiting.pop(0)
+            spare = spare_pool.pop(0)
+            gpu_instance[spare] = inst
+            schedule(now + policy.swap_time, "swap", inst)
+
+    # Close out instances still down at the horizon.
+    for inst in range(n_instances):
+        if missing[inst] > 0:
+            downtime[inst] += horizon - down_since[inst]
+
+    total_downtime = sum(downtime)
+    instance_time = n_instances * horizon
+    availability = 1.0 - total_downtime / instance_time
+    return AvailabilityResult(
+        horizon=horizon,
+        n_instances=n_instances,
+        instance_size=instance_size,
+        spares=policy.spares,
+        instance_availability=availability,
+        served_capacity=availability,  # capacity tracks instance uptime
+        failures=failures,
+        swaps=swaps,
+        mean_outage=float(np.mean(outages)) if outages else 0.0,
+    )
+
+
+def spares_for_target(
+    n_instances: int,
+    instance_size: int,
+    model: FailureModel,
+    target_availability: float,
+    max_spares: int = 64,
+    horizon: float = 30 * 24 * HOUR,
+    seed: int = 0,
+    swap_time: float = 120.0,
+) -> Optional[int]:
+    """Smallest spare count achieving ``target_availability`` (or None).
+
+    Used by the fault-tolerance benchmark to compare the spare *overhead*
+    needed by H100 and Lite fleets for the same availability target.
+    """
+    if not 0.0 < target_availability < 1.0:
+        raise SpecError("target_availability must be in (0, 1)")
+    for spares in range(max_spares + 1):
+        result = simulate_availability(
+            n_instances,
+            instance_size,
+            model,
+            SparePolicy(spares=spares, swap_time=swap_time),
+            horizon=horizon,
+            seed=seed,
+        )
+        if result.instance_availability >= target_availability:
+            return spares
+    return None

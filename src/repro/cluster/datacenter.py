@@ -1,0 +1,188 @@
+"""Data-center management: racks, floor space, cooling, and reach.
+
+Section 3 ("Data-center management"): *"With Lite-GPUs, the number of
+devices per area is increased, however, the energy per unit area is
+decreased ... the overall cooling requirements of the rack can be lighter
+due to the more efficient cooling of Lite-GPUs combined with co-packaged
+optics.  This can eliminate the need for liquid cooling racks in the
+data-center, which comprise a significant portion of racks, and thus space,
+in an NVIDIA B200 cluster."*
+
+This module turns those sentences into numbers:
+
+- :class:`RackSpec` / :func:`plan_racks` — how many racks a deployment
+  needs, under per-rack power and physical-slot budgets, and whether each
+  rack can be air-cooled;
+- :func:`floor_plan` — floor space, total power, and cooling mix for a
+  whole deployment;
+- :func:`reach_check` — whether a link technology's reach covers the
+  resulting floor plan (the co-packaged-optics enabler: tens of metres vs
+  copper's single rack).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import SpecError
+from ..hardware.cooling import CoolingKind, rack_cooling_requirement
+from ..hardware.gpu import GPUSpec
+from ..network.links import LinkSpec
+from ..units import KILOWATT
+
+
+@dataclass(frozen=True)
+class RackSpec:
+    """Physical rack budget."""
+
+    max_power_kw: float = 40.0  # air-coolable IT load
+    max_liquid_power_kw: float = 130.0  # cold-plate rack budget
+    slots: int = 64  # reference-sized GPU packages per rack
+    slot_reference_area_mm2: float = 814.0  # the package the slot count assumes
+    footprint_m2: float = 2.2  # incl. service clearance
+    aisle_overhead: float = 1.8  # hot/cold aisle multiplier on footprint
+
+    def __post_init__(self) -> None:
+        if min(self.max_power_kw, self.max_liquid_power_kw) <= 0:
+            raise SpecError("rack power budgets must be positive")
+        if self.slots <= 0 or self.footprint_m2 <= 0 or self.aisle_overhead < 1.0:
+            raise SpecError("slots/footprint/aisle must be positive (aisle >= 1)")
+        if self.slot_reference_area_mm2 <= 0:
+            raise SpecError("slot_reference_area_mm2 must be positive")
+
+    def physical_slots(self, die_area_mm2: float) -> int:
+        """Packages of a given die area that fit the rack physically —
+        smaller packages pack denser (board/chassis area tracks die area
+        sublinearly; we use a conservative linear scaling capped at 4x)."""
+        if die_area_mm2 <= 0:
+            raise SpecError("die area must be positive")
+        density = min(4.0, self.slot_reference_area_mm2 / die_area_mm2)
+        return max(1, int(self.slots * density))
+
+
+@dataclass(frozen=True)
+class RackPlan:
+    """One deployment's rack layout."""
+
+    gpu: str
+    n_gpus: int
+    gpus_per_rack: int
+    n_racks: int
+    rack_power_kw: float
+    cooling: CoolingKind
+    floor_m2: float
+
+    @property
+    def power_density_kw_m2(self) -> float:
+        """IT power per square metre of floor."""
+        return self.n_racks * self.rack_power_kw / self.floor_m2
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.n_gpus}x {self.gpu}: {self.n_racks} racks x "
+            f"{self.gpus_per_rack} GPUs ({self.rack_power_kw:.0f} kW/rack, "
+            f"{self.cooling.value}-cooled), {self.floor_m2:.0f} m^2"
+        )
+
+
+def plan_racks(gpu: GPUSpec, n_gpus: int, rack: RackSpec | None = None) -> RackPlan:
+    """Pack a deployment into racks under power and slot budgets.
+
+    GPUs per rack = min(slot limit, air budget / TDP) when that keeps the
+    rack air-coolable; otherwise the liquid budget applies.
+
+    >>> from repro.hardware.gpu import LITE
+    >>> plan_racks(LITE, 128).cooling.value
+    'air'
+    """
+    if n_gpus <= 0:
+        raise SpecError("n_gpus must be positive")
+    rack = rack or RackSpec()
+    tdp_kw = gpu.tdp / KILOWATT
+    slots = rack.physical_slots(gpu.die.area_mm2)
+    air_fit = int(rack.max_power_kw / tdp_kw)
+    per_rack = min(slots, air_fit)
+    if per_rack >= 1 and rack_cooling_requirement(gpu, per_rack, rack.max_power_kw) is CoolingKind.AIR:
+        cooling = CoolingKind.AIR
+    else:
+        per_rack = min(slots, int(rack.max_liquid_power_kw / tdp_kw))
+        cooling = CoolingKind.LIQUID_COLD_PLATE
+    if per_rack < 1:
+        raise SpecError(f"{gpu.name} exceeds even the liquid rack budget")
+    n_racks = math.ceil(n_gpus / per_rack)
+    floor = n_racks * rack.footprint_m2 * rack.aisle_overhead
+    return RackPlan(
+        gpu=gpu.name,
+        n_gpus=n_gpus,
+        gpus_per_rack=per_rack,
+        n_racks=n_racks,
+        rack_power_kw=per_rack * tdp_kw,
+        cooling=cooling,
+        floor_m2=floor,
+    )
+
+
+def floor_plan(plans: List[RackPlan]) -> dict:
+    """Aggregate a set of rack plans into a data-center summary."""
+    if not plans:
+        raise SpecError("plans must be non-empty")
+    total_racks = sum(p.n_racks for p in plans)
+    liquid_racks = sum(p.n_racks for p in plans if p.cooling is not CoolingKind.AIR)
+    return {
+        "racks": total_racks,
+        "liquid_racks": liquid_racks,
+        "liquid_fraction": liquid_racks / total_racks,
+        "floor_m2": sum(p.floor_m2 for p in plans),
+        "power_kw": sum(p.n_racks * p.rack_power_kw for p in plans),
+        "gpus": sum(p.n_gpus for p in plans),
+    }
+
+
+def reach_check(plan: RackPlan, link: LinkSpec, row_length_m: float = 1.2) -> bool:
+    """Whether ``link`` can connect any two GPUs in the plan's floor area.
+
+    Worst-case cable run approximated as the diagonal of a square floor of
+    the plan's area plus one rack height of vertical routing; ``row_length_m``
+    is the per-rack pitch used for the sanity floor.
+
+    The punchline: copper (3 m) covers one rack; co-packaged optics (50 m)
+    covers hundreds of racks — the flat-network enabler.
+    """
+    if row_length_m <= 0:
+        raise SpecError("row_length_m must be positive")
+    if plan.n_racks == 1:
+        worst_run = 2.5  # intra-rack: one rack height of routing
+    else:
+        side = math.sqrt(plan.floor_m2)
+        worst_run = math.hypot(side, side) + 2.5  # diagonal + vertical routing
+    worst_run = max(worst_run, row_length_m)
+    return link.reach_m >= worst_run
+
+
+def lite_vs_h100_floor(n_h100: int, h100: GPUSpec, lite: GPUSpec, rack: RackSpec | None = None) -> dict:
+    """The Section 3 comparison: same compute as racks of H100s vs Lite-GPUs.
+
+    Returns both plans plus the deltas the paper highlights (devices per
+    area up, energy per area down, liquid racks eliminated).
+    """
+    if n_h100 <= 0:
+        raise SpecError("n_h100 must be positive")
+    split = max(1, round(h100.sms / lite.sms))
+    h100_plan = plan_racks(h100, n_h100, rack)
+    lite_plan = plan_racks(lite, n_h100 * split, rack)
+    return {
+        "h100": h100_plan,
+        "lite": lite_plan,
+        "devices_per_m2_ratio": (
+            (lite_plan.n_gpus / lite_plan.floor_m2) / (h100_plan.n_gpus / h100_plan.floor_m2)
+        ),
+        "power_density_ratio": (
+            lite_plan.power_density_kw_m2 / h100_plan.power_density_kw_m2
+        ),
+        "liquid_eliminated": (
+            h100_plan.cooling is not CoolingKind.AIR and lite_plan.cooling is CoolingKind.AIR
+        ),
+    }

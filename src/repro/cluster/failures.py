@@ -1,0 +1,168 @@
+"""Failure models: per-GPU reliability, blast radius, instance MTBF.
+
+Section 3 ("Fault-tolerance"): *"Reducing the size of the GPU naturally
+reduces the blast radius should a GPU fail ... leading to higher available
+FLOPS, memory capacity, and memory bandwidth at any time."*  And the caveat:
+*"today's large-scale inference pipelines already impose larger blast radii
+than the hardware-imposed blast radii: if one GPU out of a group of GPUs
+serving a model instance fails, the entire instance is taken offline."*
+
+The model:
+
+- each GPU fails as a Poisson process with rate ``1 / mtbf`` (an optional
+  Weibull shape models infant mortality / wear-out);
+- a **hardware blast radius** of ``r`` means one failure takes out ``r``
+  GPUs' worth of capacity (1 for an isolated Lite-GPU; the whole group for
+  direct-connect groups sharing a fate domain);
+- an **instance** of ``k`` GPUs is a series system: it fails at rate
+  ``k / mtbf`` and loses all ``k`` GPUs' service until recovery.
+
+Closed forms below; the Monte-Carlo counterpart with hot spares lives in
+:mod:`repro.cluster.availability`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SpecError
+from ..units import HOUR
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Per-GPU reliability parameters.
+
+    ``mtbf`` seconds between failures per GPU, ``mttr`` seconds to repair /
+    replace, ``weibull_shape`` = 1.0 for the exponential (memoryless) case.
+    Lite-GPUs plausibly see a *better* per-die failure rate (smaller dies,
+    lower power density), which callers express via ``mtbf``.
+    """
+
+    mtbf: float = 4380.0 * HOUR  # ~6 months, in line with large-fleet reports
+    mttr: float = 12.0 * HOUR
+    weibull_shape: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mtbf <= 0 or self.mttr <= 0:
+            raise SpecError("mtbf and mttr must be positive")
+        if self.weibull_shape <= 0:
+            raise SpecError("weibull_shape must be positive")
+
+    @property
+    def failure_rate(self) -> float:
+        """Failures per second per GPU (exponential approximation)."""
+        return 1.0 / self.mtbf
+
+    @property
+    def gpu_availability(self) -> float:
+        """Steady-state availability of one GPU: MTBF / (MTBF + MTTR)."""
+        return self.mtbf / (self.mtbf + self.mttr)
+
+    def sample_lifetimes(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` times-to-failure (Weibull with the model's shape,
+        scaled so the mean equals ``mtbf``)."""
+        if n < 0:
+            raise SpecError("n must be non-negative")
+        shape = self.weibull_shape
+        scale = self.mtbf / math.gamma(1.0 + 1.0 / shape)
+        return scale * rng.weibull(shape, size=n)
+
+
+@dataclass(frozen=True)
+class BlastRadius:
+    """How much capacity one hardware failure removes.
+
+    ``gpus_per_failure``: GPUs lost per failure event (hardware fate
+    sharing); ``sms_per_gpu`` converts to capacity terms.
+    """
+
+    gpus_per_failure: int
+    sms_per_gpu: int
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_failure <= 0 or self.sms_per_gpu <= 0:
+            raise SpecError("blast radius fields must be positive")
+
+    @property
+    def sms_per_failure(self) -> int:
+        """SMs of capacity removed by one failure."""
+        return self.gpus_per_failure * self.sms_per_gpu
+
+    def capacity_fraction(self, total_gpus: int) -> float:
+        """Fraction of the cluster one failure takes out."""
+        if total_gpus <= 0:
+            raise SpecError("total_gpus must be positive")
+        return min(1.0, self.gpus_per_failure / total_gpus)
+
+
+@dataclass(frozen=True)
+class InstanceReliability:
+    """A model instance spanning ``k`` GPUs as a series system."""
+
+    k: int
+    gpu_model: FailureModel
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise SpecError("k must be positive")
+
+    @property
+    def instance_mtbf(self) -> float:
+        """Any-of-k failure: MTBF / k."""
+        return self.gpu_model.mtbf / self.k
+
+    @property
+    def instance_availability(self) -> float:
+        """All-k-up steady state: per-GPU availability to the k-th power."""
+        return self.gpu_model.gpu_availability**self.k
+
+    def expected_failures(self, horizon_s: float) -> float:
+        """Expected instance-down events over a horizon."""
+        if horizon_s < 0:
+            raise SpecError("horizon must be non-negative")
+        return horizon_s * self.k / self.gpu_model.mtbf
+
+
+def fleet_available_capacity(
+    n_gpus: int,
+    instance_size: int,
+    model: FailureModel,
+) -> float:
+    """Steady-state fraction of fleet capacity serving traffic when every
+    instance spans ``instance_size`` GPUs and a failure downs its instance.
+
+    The Lite-GPU trade-off in one formula: quadrupling the fleet quadruples
+    ``instance_size`` (same model, 4x the devices), but each device is
+    smaller, so the lost capacity per failure is the same *fraction* —
+    availability only drops if the per-device failure rate stays at the
+    parent's.  With equal silicon reliability per mm^2 (per-GPU rate / 4),
+    the Lite fleet matches the parent exactly; hot spares then tip the
+    balance (see :mod:`repro.cluster.availability`).
+
+    >>> round(fleet_available_capacity(8, 8, FailureModel()), 4) > 0.9
+    True
+    """
+    if n_gpus <= 0 or instance_size <= 0:
+        raise SpecError("n_gpus and instance_size must be positive")
+    if n_gpus % instance_size:
+        raise SpecError("n_gpus must be divisible by instance_size")
+    instance = InstanceReliability(instance_size, model)
+    return instance.instance_availability
+
+
+def scaled_lite_failure_model(parent: FailureModel, split: int, area_scaling: bool = True) -> FailureModel:
+    """Failure model of a Lite-GPU derived from its parent.
+
+    With ``area_scaling`` (default), failure rate scales with die area —
+    1/split the parent's rate, i.e. MTBF * split — reflecting that most
+    hardware failures (transistor faults, hotspots, debris) are
+    area-proportional.  Repair time is unchanged.
+    """
+    if split <= 0:
+        raise SpecError("split must be positive")
+    mtbf = parent.mtbf * split if area_scaling else parent.mtbf
+    return FailureModel(mtbf=mtbf, mttr=parent.mttr, weibull_shape=parent.weibull_shape)

@@ -1,0 +1,170 @@
+"""Memory management: local HBM, disaggregated pools, KV placement.
+
+Section 3 ("Memory management"): each Lite-GPU holds only a fraction of a
+big GPU's HBM, which hurts workloads that need capacity without distributing
+well; the paper floats memory sharing across Lite-GPUs and *disaggregated
+memory* pools reachable over the optical fabric as remedies, noting the
+flexibility of adjusting compute-to-memory ratios per GPU.
+
+The model here:
+
+- :class:`DisaggregatedPool` — a fabric-attached capacity tier with its own
+  bandwidth and latency;
+- :class:`MemorySystem` — a GPU's HBM plus an optional pool share, with KV
+  placement policies and an *effective decode slowdown* estimate when the KV
+  cache spills: the attention stage's KV reads are served at a
+  capacity-weighted harmonic-mean bandwidth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import SpecError
+from ..hardware.gpu import GPUSpec
+from ..units import GB, GB_PER_S, US
+
+
+class KVPlacementPolicy(enum.Enum):
+    """Where a sequence's KV cache lives."""
+
+    #: Everything in local HBM; requests beyond capacity are rejected.
+    LOCAL_ONLY = "local"
+    #: Hot prefix in HBM, overflow in the pool (capacity-ordered spill).
+    SPILL_TO_POOL = "spill"
+    #: Entire KV in the pool (maximum sharing / elasticity).
+    POOL_ONLY = "pool"
+
+
+@dataclass(frozen=True)
+class DisaggregatedPool:
+    """A fabric-attached memory pool shared by many Lite-GPUs.
+
+    ``bandwidth_per_gpu`` is each GPU's share of pool bandwidth (bounded by
+    its network port); ``latency`` is the extra access latency over the
+    fabric — tolerable for the sequential, predictable KV streaming of
+    decode (the paper's prefetching argument).
+    """
+
+    capacity: float = 1024 * GB
+    bandwidth_per_gpu: float = 100 * GB_PER_S
+    latency: float = 2.0 * US
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.bandwidth_per_gpu <= 0:
+            raise SpecError("pool capacity and bandwidth must be positive")
+        if self.latency < 0:
+            raise SpecError("pool latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """A GPU's memory hierarchy: local HBM plus an optional pool share."""
+
+    gpu: GPUSpec
+    pool: DisaggregatedPool | None = None
+    pool_share: float = 0.0  # bytes of pool capacity assigned to this GPU
+
+    def __post_init__(self) -> None:
+        if self.pool_share < 0:
+            raise SpecError("pool_share must be non-negative")
+        if self.pool_share > 0 and self.pool is None:
+            raise SpecError("pool_share requires a pool")
+
+    @property
+    def total_capacity(self) -> float:
+        """HBM plus assigned pool bytes."""
+        return self.gpu.mem_capacity + self.pool_share
+
+    def max_kv_bytes(self, weight_bytes: float, reserve_fraction: float = 0.05) -> float:
+        """Capacity available to the KV cache after weights and reserve.
+
+        Weights always live in HBM (they are read every iteration); only KV
+        spills.
+        """
+        if weight_bytes < 0:
+            raise SpecError("weight_bytes must be non-negative")
+        hbm_free = self.gpu.mem_capacity * (1.0 - reserve_fraction) - weight_bytes
+        if hbm_free < 0:
+            return 0.0
+        return hbm_free + self.pool_share
+
+    def placement_split(
+        self, kv_bytes: float, weight_bytes: float, policy: KVPlacementPolicy
+    ) -> tuple:
+        """(local_bytes, pool_bytes) for a KV cache of ``kv_bytes``.
+
+        Raises :class:`SpecError` if the cache cannot be placed at all.
+        """
+        if kv_bytes < 0:
+            raise SpecError("kv_bytes must be non-negative")
+        hbm_free = max(0.0, self.gpu.mem_capacity * 0.95 - weight_bytes)
+        if policy is KVPlacementPolicy.LOCAL_ONLY:
+            if kv_bytes > hbm_free:
+                raise SpecError("KV cache exceeds local HBM under LOCAL_ONLY")
+            return kv_bytes, 0.0
+        if policy is KVPlacementPolicy.POOL_ONLY:
+            if kv_bytes > self.pool_share:
+                raise SpecError("KV cache exceeds pool share under POOL_ONLY")
+            return 0.0, kv_bytes
+        local = min(kv_bytes, hbm_free)
+        pooled = kv_bytes - local
+        if pooled > self.pool_share:
+            raise SpecError("KV cache exceeds HBM + pool share")
+        return local, pooled
+
+    def effective_kv_bandwidth(
+        self, kv_bytes: float, weight_bytes: float, policy: KVPlacementPolicy
+    ) -> float:
+        """Capacity-weighted harmonic-mean bandwidth for streaming the KV.
+
+        Decode streams the whole cache once per iteration, so the read time
+        is ``local/bw_hbm + pooled/bw_pool``; the effective bandwidth is the
+        total divided by that time.
+        """
+        local, pooled = self.placement_split(kv_bytes, weight_bytes, policy)
+        if kv_bytes == 0:
+            return self.gpu.mem_bandwidth
+        time = local / self.gpu.mem_bandwidth
+        if pooled > 0:
+            assert self.pool is not None  # guaranteed by placement_split
+            time += pooled / self.pool.bandwidth_per_gpu + self.pool.latency
+        return kv_bytes / time
+
+    def decode_slowdown(
+        self, kv_bytes: float, weight_bytes: float, policy: KVPlacementPolicy
+    ) -> float:
+        """Attention-stage slowdown factor vs. all-local KV (>= 1.0).
+
+        The Figure-3b-style decode iteration is attention-read bound at large
+        batch, so this ratio is a good proxy for the end-to-end penalty of
+        spilling.
+        """
+        effective = self.effective_kv_bandwidth(kv_bytes, weight_bytes, policy)
+        return self.gpu.mem_bandwidth / effective
+
+
+def pool_batch_gain(
+    gpu: GPUSpec,
+    weight_bytes: float,
+    kv_bytes_per_seq: float,
+    pool_share: float,
+    pool: DisaggregatedPool | None = None,
+) -> dict:
+    """How much a pool share grows the feasible decode batch, and at what
+    bandwidth penalty.
+
+    Returns {"local_batch", "pooled_batch", "slowdown"} — the quantitative
+    form of the paper's compute-to-memory flexibility argument.
+    """
+    if kv_bytes_per_seq <= 0:
+        raise SpecError("kv_bytes_per_seq must be positive")
+    pool = pool or DisaggregatedPool()
+    base = MemorySystem(gpu)
+    pooled = MemorySystem(gpu, pool=pool, pool_share=pool_share)
+    local_batch = int(base.max_kv_bytes(weight_bytes) / kv_bytes_per_seq)
+    pooled_batch = int(pooled.max_kv_bytes(weight_bytes) / kv_bytes_per_seq)
+    kv_total = pooled_batch * kv_bytes_per_seq
+    slowdown = pooled.decode_slowdown(kv_total, weight_bytes, KVPlacementPolicy.SPILL_TO_POOL)
+    return {"local_batch": local_batch, "pooled_batch": pooled_batch, "slowdown": slowdown}

@@ -1,0 +1,151 @@
+"""Cluster-level power management policies.
+
+Section 3's power argument has two directions:
+
+- **Down**: big GPUs down-clock all SMs together; Lite clusters power-gate or
+  DVFS individual small GPUs ("akin to down-clocking only a portion of SMs in
+  a larger GPU") — implemented by composing
+  :class:`~repro.hardware.power.PowerModel` policies over a load profile.
+- **Up** (peak serving): either over-clock the existing Lite-GPUs (small dies
+  cool easily) or activate more Lite-GPUs, paying extra network power —
+  *"Detailed analysis on workload patterns and power modelling can help us
+  determine the most power-efficient approach"*.  :class:`ClusterPowerManager`
+  performs exactly that comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SpecError
+from ..hardware.cooling import CoolingModel
+from ..hardware.gpu import GPUSpec
+from ..hardware.power import ClockPolicy, DVFSCurve, PowerModel
+
+
+class PeakStrategy(enum.Enum):
+    """Ways to serve a load peak above provisioned base throughput."""
+
+    OVERCLOCK = "overclock"
+    MORE_GPUS = "more_gpus"
+
+
+@dataclass(frozen=True)
+class ClusterPowerManager:
+    """Power accounting and peak-strategy selection for one GPU group.
+
+    ``net_power_per_gpu`` is the incremental fabric power of activating one
+    more GPU (ports + switch share), the cost the paper attributes to the
+    "more Lite-GPUs" strategy.
+    """
+
+    gpu: GPUSpec
+    count: int
+    curve: DVFSCurve = DVFSCurve()
+    net_power_per_gpu: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise SpecError("count must be positive")
+        if self.net_power_per_gpu < 0:
+            raise SpecError("net_power_per_gpu must be non-negative")
+
+    def _power_model(self, count: int | None = None) -> PowerModel:
+        return PowerModel(self.gpu, count or self.count, self.curve)
+
+    # --- steady-state policies ------------------------------------------------
+
+    def energy_over_profile(
+        self, loads: np.ndarray, interval_s: float, policy: ClockPolicy
+    ) -> float:
+        """Cluster energy (J) over a load profile under a clocking policy."""
+        return self._power_model().energy_over_profile(loads, interval_s, policy)
+
+    def policy_savings(self, loads: np.ndarray, interval_s: float) -> dict:
+        """Energy savings of each policy vs. always-base, as fractions."""
+        model = self._power_model()
+        return {
+            policy.value: model.savings_vs_base(loads, interval_s, policy)
+            for policy in (ClockPolicy.UNIFORM_DVFS, ClockPolicy.POWER_GATE, ClockPolicy.GATE_PLUS_DVFS)
+        }
+
+    # --- peak serving ------------------------------------------------------------
+
+    def overclock_power(self, peak_load: float, cooling: CoolingModel | None = None) -> float:
+        """Power (W) serving ``peak_load`` (>1 of base) by over-clocking.
+
+        Raises :class:`SpecError` if the cooling envelope cannot sustain the
+        required clock — which is precisely what rules this strategy out for
+        big hot dies.
+        """
+        if peak_load <= 0:
+            raise SpecError("peak_load must be positive")
+        clock = max(1.0, peak_load)
+        cooling = cooling or CoolingModel()
+        headroom = cooling.overclock_headroom(self.gpu, self.curve.exponent)
+        if clock > headroom + 1e-9:
+            raise SpecError(
+                f"{self.gpu.name}: overclock x{clock:.2f} exceeds cooling headroom x{headroom:.2f}"
+            )
+        return self.count * self.gpu.tdp * self.curve.power_ratio(clock)
+
+    def more_gpus_power(self, peak_load: float) -> tuple:
+        """(power_w, extra_gpus) serving the peak by activating more GPUs
+        at base clock, charging incremental network power per extra GPU."""
+        if peak_load <= 0:
+            raise SpecError("peak_load must be positive")
+        needed = math.ceil(self.count * peak_load)
+        extra = max(0, needed - self.count)
+        gpu_power = needed * self.gpu.tdp * self.curve.power_ratio(1.0)
+        net_power = extra * self.net_power_per_gpu
+        return gpu_power + net_power, extra
+
+    def best_peak_strategy(
+        self, peak_load: float, cooling: CoolingModel | None = None
+    ) -> tuple:
+        """(strategy, power_w) — the cheaper way to serve ``peak_load``.
+
+        >>> from repro.hardware import LITE
+        >>> mgr = ClusterPowerManager(LITE, 32)
+        >>> strategy, _ = mgr.best_peak_strategy(1.1)
+        >>> strategy in (PeakStrategy.OVERCLOCK, PeakStrategy.MORE_GPUS)
+        True
+        """
+        more_power, _ = self.more_gpus_power(peak_load)
+        try:
+            oc_power = self.overclock_power(peak_load, cooling)
+        except SpecError:
+            return PeakStrategy.MORE_GPUS, more_power
+        if oc_power <= more_power:
+            return PeakStrategy.OVERCLOCK, oc_power
+        return PeakStrategy.MORE_GPUS, more_power
+
+
+def granularity_gain(
+    big: GPUSpec,
+    lite: GPUSpec,
+    loads: np.ndarray,
+    interval_s: float,
+    big_count: int,
+    curve: DVFSCurve | None = None,
+) -> float:
+    """Extra energy saving of a Lite cluster over a big-GPU cluster from
+    finer power-gating granularity alone (same aggregate capacity).
+
+    Both clusters use their best gating policy; the Lite cluster has
+    ``big_count * (big.sms / lite.sms)`` devices.  Returns the difference of
+    fractional savings (positive = Lite saves more).
+    """
+    if big_count <= 0:
+        raise SpecError("big_count must be positive")
+    curve = curve or DVFSCurve()
+    split = max(1, round(big.sms / lite.sms))
+    big_mgr = PowerModel(big, big_count, curve)
+    lite_mgr = PowerModel(lite, big_count * split, curve)
+    big_saving = big_mgr.savings_vs_base(loads, interval_s, ClockPolicy.GATE_PLUS_DVFS)
+    lite_saving = lite_mgr.savings_vs_base(loads, interval_s, ClockPolicy.GATE_PLUS_DVFS)
+    return lite_saving - big_saving

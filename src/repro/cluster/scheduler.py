@@ -1,0 +1,164 @@
+"""Phase-split scheduling: Splitwise-style prefill and decode pools.
+
+The paper's case study assumes *"different phases can execute on different
+Lite-GPU clusters"* (citing Splitwise / DistServe).  This module provides the
+static description of such a deployment — how many instances of which GPU
+type serve each phase — plus admission logic; the dynamics live in
+:mod:`repro.cluster.simulator`.
+
+An **instance** is one tensor-parallel replica of the model (``n_gpus`` GPUs
+of one type).  Its performance envelope comes straight from the analytical
+model: prefill time as a function of batch, decode iteration time as a
+function of (batch, context), and the KV-token capacity bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.inference import (
+    DecodeWorkload,
+    PhaseResult,
+    PrefillWorkload,
+    decode_iteration,
+    prefill_pass,
+)
+from ..core.parallelism import TensorParallel
+from ..core.roofline import RooflinePolicy
+from ..errors import SpecError
+from ..hardware.gpu import GPUSpec
+from ..workloads.transformer import ModelSpec
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """One model replica: GPU type and tensor-parallel degree."""
+
+    model: ModelSpec
+    gpu: GPUSpec
+    n_gpus: int
+    policy: RooflinePolicy = field(default_factory=RooflinePolicy)
+
+    def __post_init__(self) -> None:
+        if self.n_gpus <= 0:
+            raise SpecError("n_gpus must be positive")
+        tp = TensorParallel(self.model, self.n_gpus, self.policy.kv_placement)
+        if not tp.fits(self.gpu.mem_capacity, self.policy.weight_bytes):
+            raise SpecError(
+                f"{self.model.name} weights do not fit {self.n_gpus}x {self.gpu.name}"
+            )
+
+    @property
+    def tp(self) -> TensorParallel:
+        """The tensor-parallel layout of this instance."""
+        return TensorParallel(self.model, self.n_gpus, self.policy.kv_placement)
+
+    def kv_token_capacity(self) -> int:
+        """Maximum cached tokens this instance can hold."""
+        return self.tp.max_cached_tokens(
+            self.gpu.mem_capacity,
+            self.policy.weight_bytes,
+            self.policy.memory_reserve_fraction,
+        )
+
+    def prefill_time(self, batch: int, prompt_len: int) -> float:
+        """Prefill latency of a batch on this instance."""
+        result = prefill_pass(
+            self.model, self.gpu, self.n_gpus, PrefillWorkload(batch, prompt_len), self.policy
+        )
+        return result.latency
+
+    def decode_time(self, batch: int, context_len: int) -> float:
+        """One decode iteration's latency at a given batch/context."""
+        result = decode_iteration(
+            self.model, self.gpu, self.n_gpus, DecodeWorkload(batch, context_len), self.policy
+        )
+        return result.latency
+
+
+@dataclass(frozen=True)
+class PhasePools:
+    """A phase-split deployment: prefill instances + decode instances."""
+
+    prefill: InstanceSpec
+    n_prefill: int
+    decode: InstanceSpec
+    n_decode: int
+    max_prefill_batch: int = 8
+    max_decode_batch: int = 256
+
+    def __post_init__(self) -> None:
+        if self.n_prefill <= 0 or self.n_decode <= 0:
+            raise SpecError("instance counts must be positive")
+        if self.max_prefill_batch <= 0 or self.max_decode_batch <= 0:
+            raise SpecError("batch bounds must be positive")
+        if self.prefill.model is not self.decode.model:
+            raise SpecError("prefill and decode pools must serve the same model")
+
+    @property
+    def total_gpus(self) -> int:
+        """All GPUs across both pools."""
+        return self.n_prefill * self.prefill.n_gpus + self.n_decode * self.decode.n_gpus
+
+    @property
+    def total_sms(self) -> int:
+        """All SMs across both pools (for efficiency normalization)."""
+        return (
+            self.n_prefill * self.prefill.n_gpus * self.prefill.gpu.sms
+            + self.n_decode * self.decode.n_gpus * self.decode.gpu.sms
+        )
+
+    def describe(self) -> str:
+        """One-line deployment summary."""
+        return (
+            f"prefill {self.n_prefill}x[{self.prefill.n_gpus}x {self.prefill.gpu.name}] + "
+            f"decode {self.n_decode}x[{self.decode.n_gpus}x {self.decode.gpu.name}] "
+            f"for {self.prefill.model.name}"
+        )
+
+
+class PhaseSplitScheduler:
+    """Admission decisions for the two pools (used by the simulator).
+
+    Prefill: FIFO batching up to ``max_prefill_batch``.  Decode: continuous
+    batching bounded by sequence slots and the instance's KV-token capacity.
+    """
+
+    def __init__(self, pools: PhasePools) -> None:
+        self.pools = pools
+        self._decode_capacity = pools.decode.kv_token_capacity()
+        if self._decode_capacity <= 0:
+            raise SpecError("decode instances have no KV capacity headroom")
+
+    @property
+    def decode_kv_capacity(self) -> int:
+        """Per-instance KV token budget."""
+        return self._decode_capacity
+
+    def form_prefill_batch(self, queue_len: int) -> int:
+        """How many queued requests one free prefill instance should take."""
+        if queue_len < 0:
+            raise SpecError("queue_len must be non-negative")
+        return min(queue_len, self.pools.max_prefill_batch)
+
+    def decode_admission(
+        self,
+        queued_tokens: List[int],
+        occupied_slots: int,
+        occupied_tokens: int,
+    ) -> int:
+        """How many queued sequences (with final footprints
+        ``queued_tokens``) a decode instance can admit now."""
+        if occupied_slots < 0 or occupied_tokens < 0:
+            raise SpecError("occupancy must be non-negative")
+        slots = self.pools.max_decode_batch - occupied_slots
+        budget = self._decode_capacity - occupied_tokens
+        admitted = 0
+        for tokens in queued_tokens:
+            if slots <= 0 or budget < tokens:
+                break
+            admitted += 1
+            slots -= 1
+            budget -= tokens
+        return admitted

@@ -1,0 +1,72 @@
+"""Core contribution: the Lite-GPU cluster performance model and search.
+
+This package implements Section 4's methodology — *"We use roofline modeling
+to capture important hardware and software characteristics and to model a
+Lite-GPU cluster running LLM inference ... The modeling measures compute
+stages individually, including projection, MLP, and fused FlashAttention.
+Compute, memory I/O, and network I/O can overlap within each stage and tensor
+parallelism is used to distribute execution within each cluster."*
+
+Modules:
+
+- :mod:`repro.core.parallelism` — tensor-parallel sharding math and validity.
+- :mod:`repro.core.stages` — per-stage FLOP / byte / collective accounting.
+- :mod:`repro.core.roofline` — the roofline policy and stage-time engine.
+- :mod:`repro.core.inference` — prefill / decode phase models (TTFT, TBT).
+- :mod:`repro.core.search` — the paper's batch x cluster-size search.
+- :mod:`repro.core.metrics` — tokens/s/SM, normalization, Pareto tools.
+"""
+
+from .parallelism import KVPlacement, TensorParallel, valid_tp_degrees
+from .pipeline import (
+    HybridParallel,
+    PipelineResult,
+    pipeline_decode,
+    pipeline_prefill,
+    search_hybrid_config,
+)
+from .roofline import CommModel, RooflinePolicy, StageTime
+from .stages import StageCost, decode_stage_costs, prefill_stage_costs
+from .training import TrainingConfig, TrainingResult, equivalent_lite_training, train_step
+from .inference import (
+    DecodeWorkload,
+    PhaseResult,
+    PrefillWorkload,
+    decode_iteration,
+    prefill_pass,
+)
+from .search import SearchConstraints, SearchResult, SweepPoint, search_best_config
+from .metrics import normalize_to_baseline, pareto_front, tokens_per_s_per_sm
+
+__all__ = [
+    "KVPlacement",
+    "TensorParallel",
+    "valid_tp_degrees",
+    "HybridParallel",
+    "PipelineResult",
+    "pipeline_decode",
+    "pipeline_prefill",
+    "search_hybrid_config",
+    "TrainingConfig",
+    "TrainingResult",
+    "equivalent_lite_training",
+    "train_step",
+    "CommModel",
+    "RooflinePolicy",
+    "StageTime",
+    "StageCost",
+    "decode_stage_costs",
+    "prefill_stage_costs",
+    "DecodeWorkload",
+    "PhaseResult",
+    "PrefillWorkload",
+    "decode_iteration",
+    "prefill_pass",
+    "SearchConstraints",
+    "SearchResult",
+    "SweepPoint",
+    "search_best_config",
+    "normalize_to_baseline",
+    "pareto_front",
+    "tokens_per_s_per_sm",
+]

@@ -1,0 +1,261 @@
+"""Phase models: prefill (TTFT) and decode (TBT) on a GPU cluster.
+
+This is where the stage accounting, the roofline engine and the memory
+system meet.  :func:`prefill_pass` and :func:`decode_iteration` evaluate one
+(model, GPU type, cluster size, batch) point and return a
+:class:`PhaseResult` with the latency, throughput, per-stage breakdown, and
+feasibility flags the search needs:
+
+- **memory feasibility** — weight shard plus KV cache (at the end of prefill
+  / at the decode context length) must fit each GPU's HBM;
+- **latency** — TTFT for prefill (the batch's prompts complete together),
+  TBT for decode (one iteration produces one token per sequence).
+
+Throughput is normalized per SM because the paper compares GPU types of very
+different sizes: ``tokens/s/SM`` is Figure 3's y-axis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import SpecError
+from ..hardware.gpu import GPUSpec
+from ..workloads.transformer import ModelSpec
+from .parallelism import TensorParallel
+from .roofline import (
+    RooflinePolicy,
+    StageTime,
+    compose_stage_time,
+    tp_allgather_time,
+    tp_allreduce_time,
+    tp_alltoall_time,
+)
+from .stages import PhaseCosts, StageCost, decode_stage_costs, prefill_stage_costs
+
+
+class Phase(enum.Enum):
+    """The two LLM inference phases the paper studies separately."""
+
+    PREFILL = "prefill"
+    DECODE = "decode"
+
+
+@dataclass(frozen=True)
+class PrefillWorkload:
+    """A prefill batch: ``batch`` prompts of ``prompt_len`` tokens each.
+
+    The paper fixes ``prompt_len = 1500`` (Splitwise's median coding prompt).
+    """
+
+    batch: int
+    prompt_len: int = 1500
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0 or self.prompt_len <= 0:
+            raise SpecError("batch and prompt_len must be positive")
+
+    @property
+    def tokens(self) -> int:
+        """Prompt tokens processed by the pass."""
+        return self.batch * self.prompt_len
+
+
+@dataclass(frozen=True)
+class DecodeWorkload:
+    """A decode batch: ``batch`` sequences at ``context_len`` cached tokens.
+
+    ``context_len`` defaults to the paper's 1500-token prompt plus 250
+    generated tokens (the midpoint of a 500-token generation).
+    """
+
+    batch: int
+    context_len: int = 1750
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0 or self.context_len <= 0:
+            raise SpecError("batch and context_len must be positive")
+
+    @property
+    def cached_tokens(self) -> int:
+        """Total tokens resident in the KV cache."""
+        return self.batch * self.context_len
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """Evaluation of one configuration point.
+
+    ``latency`` is TTFT (prefill) or TBT (decode); ``stage_times`` holds the
+    per-layer breakdown (one entry per stage name, already including the
+    layer multiplier for layer stages).
+    """
+
+    phase: Phase
+    model: str
+    gpu: str
+    n_gpus: int
+    batch: int
+    seq_len: int
+    latency: float
+    tokens_per_s: float
+    fits_memory: bool
+    hbm_used_bytes: float
+    hbm_capacity_bytes: float
+    stage_times: Tuple[StageTime, ...]
+    sms: int
+
+    @property
+    def tokens_per_s_per_sm(self) -> float:
+        """The paper's efficiency metric (Figure 3 y-axis)."""
+        return self.tokens_per_s / self.sms
+
+    @property
+    def memory_utilization(self) -> float:
+        """Fraction of HBM used by weights + KV cache."""
+        return self.hbm_used_bytes / self.hbm_capacity_bytes
+
+    def breakdown(self) -> Dict[str, float]:
+        """Stage name -> share of total latency."""
+        total = sum(s.total for s in self.stage_times)
+        if total <= 0:
+            return {s.name: 0.0 for s in self.stage_times}
+        return {s.name: s.total / total for s in self.stage_times}
+
+    def bound_by(self) -> str:
+        """The dominant resource of the dominant stage."""
+        dominant = max(self.stage_times, key=lambda s: s.total)
+        return dominant.bound
+
+
+def _time_stage(
+    cost: StageCost, gpu: GPUSpec, degree: int, policy: RooflinePolicy
+) -> StageTime:
+    """Roofline-time one stage on one GPU."""
+    compute = cost.flops / (gpu.peak_flops * policy.mfu)
+    memory = cost.mem_bytes / (gpu.mem_bandwidth * policy.mem_efficiency)
+    network = 0.0
+    for op, size in cost.comm:
+        if op == "all_reduce":
+            network += tp_allreduce_time(size, degree, gpu, policy)
+        elif op == "all_to_all":
+            network += tp_alltoall_time(size, degree, gpu, policy)
+        else:
+            network += tp_allgather_time(size, degree, gpu, policy)
+    return compose_stage_time(cost.name, compute, memory, network, policy)
+
+
+def _pass_time(
+    costs: PhaseCosts, gpu: GPUSpec, degree: int, policy: RooflinePolicy
+) -> Tuple[float, Tuple[StageTime, ...]]:
+    """Total pass time and the aggregated per-stage timings."""
+    stage_times = []
+    total = 0.0
+    for cost in costs.layer_stages:
+        st = _time_stage(cost, gpu, degree, policy)
+        scaled = StageTime(
+            name=st.name,
+            compute=st.compute * costs.layers,
+            memory=st.memory * costs.layers,
+            network=st.network * costs.layers,
+            total=st.total * costs.layers,
+        )
+        stage_times.append(scaled)
+        total += scaled.total
+    for cost in costs.tail_stages:
+        st = _time_stage(cost, gpu, degree, policy)
+        stage_times.append(st)
+        total += st.total
+    return total, tuple(stage_times)
+
+
+def _memory_check(
+    tp: TensorParallel,
+    gpu: GPUSpec,
+    cached_tokens: int,
+    policy: RooflinePolicy,
+) -> Tuple[bool, float]:
+    """(fits, bytes used) for weights + KV at ``cached_tokens``."""
+    weights = tp.weight_bytes_per_gpu(policy.weight_bytes)
+    kv = tp.kv_bytes_per_gpu(cached_tokens, policy.kv_bytes)
+    used = weights + kv
+    budget = gpu.mem_capacity * (1.0 - policy.memory_reserve_fraction)
+    return used <= budget, used
+
+
+def prefill_pass(
+    model: ModelSpec,
+    gpu: GPUSpec,
+    n_gpus: int,
+    workload: PrefillWorkload,
+    policy: RooflinePolicy | None = None,
+) -> PhaseResult:
+    """Evaluate one prefill configuration.
+
+    >>> from repro.workloads import LLAMA3_70B
+    >>> from repro.hardware import H100
+    >>> r = prefill_pass(LLAMA3_70B, H100, 8, PrefillWorkload(batch=4))
+    >>> r.fits_memory and r.latency > 0
+    True
+    """
+    policy = policy or RooflinePolicy()
+    tp = TensorParallel(model, n_gpus, policy.kv_placement)
+    costs = prefill_stage_costs(tp, workload.batch, workload.prompt_len, policy)
+    latency, stage_times = _pass_time(costs, gpu, n_gpus, policy)
+    fits, used = _memory_check(tp, gpu, workload.tokens, policy)
+    tokens_per_s = workload.tokens / latency if latency > 0 else float("inf")
+    return PhaseResult(
+        phase=Phase.PREFILL,
+        model=model.name,
+        gpu=gpu.name,
+        n_gpus=n_gpus,
+        batch=workload.batch,
+        seq_len=workload.prompt_len,
+        latency=latency,
+        tokens_per_s=tokens_per_s,
+        fits_memory=fits,
+        hbm_used_bytes=used,
+        hbm_capacity_bytes=gpu.mem_capacity,
+        stage_times=stage_times,
+        sms=n_gpus * gpu.sms,
+    )
+
+
+def decode_iteration(
+    model: ModelSpec,
+    gpu: GPUSpec,
+    n_gpus: int,
+    workload: DecodeWorkload,
+    policy: RooflinePolicy | None = None,
+) -> PhaseResult:
+    """Evaluate one decode configuration (one token per sequence).
+
+    >>> from repro.workloads import LLAMA3_70B
+    >>> from repro.hardware import H100
+    >>> r = decode_iteration(LLAMA3_70B, H100, 8, DecodeWorkload(batch=32))
+    >>> r.latency < 0.05  # comfortably within the 50 ms TBT SLO
+    True
+    """
+    policy = policy or RooflinePolicy()
+    tp = TensorParallel(model, n_gpus, policy.kv_placement)
+    costs = decode_stage_costs(tp, workload.batch, workload.context_len, policy)
+    latency, stage_times = _pass_time(costs, gpu, n_gpus, policy)
+    fits, used = _memory_check(tp, gpu, workload.cached_tokens, policy)
+    tokens_per_s = workload.batch / latency if latency > 0 else float("inf")
+    return PhaseResult(
+        phase=Phase.DECODE,
+        model=model.name,
+        gpu=gpu.name,
+        n_gpus=n_gpus,
+        batch=workload.batch,
+        seq_len=workload.context_len,
+        latency=latency,
+        tokens_per_s=tokens_per_s,
+        fits_memory=fits,
+        hbm_used_bytes=used,
+        hbm_capacity_bytes=gpu.mem_capacity,
+        stage_times=stage_times,
+        sms=n_gpus * gpu.sms,
+    )

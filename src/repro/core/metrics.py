@@ -1,0 +1,85 @@
+"""Efficiency metrics: tokens/s/SM, normalization, Pareto frontiers.
+
+The paper normalizes each configuration's throughput by its SM count
+("throughput per SM ... represents the performance efficiency of that
+configuration") and then, in Figure 3, scales every model's series so the
+H100 baseline reads 1.0.  These helpers implement that pipeline plus the
+Pareto utilities used by the capacity-planning example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..errors import SpecError
+from .inference import PhaseResult
+
+
+def tokens_per_s_per_sm(result: PhaseResult) -> float:
+    """Throughput normalized by the configuration's total SM count."""
+    return result.tokens_per_s_per_sm
+
+
+def normalize_to_baseline(series: Mapping[str, float], baseline: str) -> Dict[str, float]:
+    """Scale a {name: value} series so ``series[baseline] == 1.0``.
+
+    >>> normalize_to_baseline({"H100": 4.0, "Lite": 3.0}, "H100")
+    {'H100': 1.0, 'Lite': 0.75}
+    """
+    if baseline not in series:
+        raise SpecError(f"baseline '{baseline}' not in series {sorted(series)}")
+    base = series[baseline]
+    if base <= 0:
+        raise SpecError(f"baseline value must be positive, got {base}")
+    return {name: value / base for name, value in series.items()}
+
+
+def pareto_front(
+    points: Sequence[Tuple[float, float]],
+    maximize_x: bool = False,
+    maximize_y: bool = True,
+) -> List[Tuple[float, float]]:
+    """Pareto-efficient subset of 2-D points.
+
+    Default orientation: minimize x (e.g. cost, latency), maximize y
+    (e.g. throughput).  Returned sorted by x.
+
+    >>> pareto_front([(1, 1), (2, 3), (3, 2)])
+    [(1, 1), (2, 3)]
+    """
+    if not points:
+        return []
+    sign_x = -1.0 if maximize_x else 1.0
+    sign_y = -1.0 if maximize_y else 1.0
+    ordered = sorted(points, key=lambda p: (sign_x * p[0], sign_y * p[1]))
+    front: List[Tuple[float, float]] = []
+    best_y = None
+    for x, y in ordered:
+        key = sign_y * y
+        if best_y is None or key < best_y:
+            front.append((x, y))
+            best_y = key
+    return front
+
+
+def efficiency_summary(results: Iterable[PhaseResult]) -> Dict[str, float]:
+    """Aggregate efficiency stats over a set of results."""
+    values = [r.tokens_per_s_per_sm for r in results]
+    if not values:
+        return {"count": 0}
+    values.sort()
+    n = len(values)
+    return {
+        "count": n,
+        "min": values[0],
+        "max": values[-1],
+        "median": values[n // 2],
+        "mean": sum(values) / n,
+    }
+
+
+def speedup(new: float, old: float) -> float:
+    """Simple ratio with validation (``new/old``)."""
+    if old <= 0:
+        raise SpecError("old value must be positive")
+    return new / old

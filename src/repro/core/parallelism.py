@@ -1,0 +1,182 @@
+"""Tensor-parallel sharding: validity, shard sizes, KV-cache placement.
+
+Tensor parallelism (Megatron-style) shards attention by heads and MLPs by
+columns/rows across ``degree`` GPUs; each transformer layer then requires two
+all-reduces of the activation tensor.  This module answers:
+
+- which degrees are *valid* for a model (head divisibility; domain alignment
+  for hierarchical collectives),
+- how large each GPU's weight shard is,
+- how the KV cache is placed, which is where grouped-query attention bites:
+
+  * :attr:`KVPlacement.SHARDED` — the cache is partitioned ``degree`` ways
+    even when the model has fewer KV heads than GPUs, by additionally
+    splitting along the sequence dimension (context-parallel /
+    flash-decoding style).  Per-GPU cache = logical / degree.  Library
+    default; capacity-neutral.
+  * :attr:`KVPlacement.REPLICATED` — classic head-sharding: when
+    ``degree > kv_heads`` each KV head is replicated ``degree / kv_heads``
+    ways (vLLM/Megatron behaviour), inflating aggregate cache.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import InfeasibleError, SpecError
+from ..workloads.transformer import ModelSpec
+
+
+class KVPlacement(enum.Enum):
+    """How the KV cache is distributed across tensor-parallel ranks."""
+
+    SHARDED = "sharded"
+    REPLICATED = "replicated"
+
+
+@dataclass(frozen=True)
+class TensorParallel:
+    """A tensor-parallel execution of ``model`` over ``degree`` GPUs."""
+
+    model: ModelSpec
+    degree: int
+    kv_placement: KVPlacement = KVPlacement.SHARDED
+
+    def __post_init__(self) -> None:
+        if self.degree <= 0:
+            raise SpecError("tensor-parallel degree must be positive")
+        if self.model.heads % self.degree != 0:
+            raise InfeasibleError(
+                f"degree {self.degree} does not divide {self.model.heads} heads "
+                f"of {self.model.name}"
+            )
+
+    # --- head layout -----------------------------------------------------------
+
+    @property
+    def heads_per_gpu(self) -> int:
+        """Query heads on each rank."""
+        return self.model.heads // self.degree
+
+    @property
+    def kv_replication(self) -> int:
+        """How many ranks hold a copy of each KV head (1 = fully sharded)."""
+        if self.degree <= self.model.kv_heads:
+            return 1
+        return self.degree // self.model.kv_heads
+
+    @property
+    def kv_heads_per_gpu(self) -> float:
+        """KV heads materialized on each rank (>= 1 under replication)."""
+        return max(1.0, self.model.kv_heads / self.degree)
+
+    @property
+    def kv_width_per_gpu(self) -> float:
+        """K (or V) columns materialized per rank.
+
+        SHARDED placement partitions K/V evenly (sequence dimension absorbs
+        any remainder beyond the head count); REPLICATED placement keeps
+        whole heads, replicating them when ``degree > kv_heads``.
+        """
+        if self.kv_placement is KVPlacement.SHARDED:
+            return self.model.kv_dim / self.degree
+        return self.model.head_dim * self.kv_heads_per_gpu
+
+    # --- weight shards ---------------------------------------------------------
+
+    def attn_params_per_gpu(self) -> float:
+        """Attention weights per rank.  Q and output shard by heads; K/V
+        weights follow the KV placement's width."""
+        m = self.model
+        q_and_out = 2.0 * m.hidden * m.q_dim / self.degree
+        kv = 2.0 * m.hidden * self.kv_width_per_gpu
+        return q_and_out + kv
+
+    def mlp_params_per_gpu(self) -> float:
+        """MLP weights per rank (clean 1/degree column/row split)."""
+        return self.model.mlp_params_per_layer / self.degree
+
+    def layer_params_per_gpu(self) -> float:
+        """All weights of one layer on one rank."""
+        return self.attn_params_per_gpu() + self.mlp_params_per_gpu()
+
+    def weight_bytes_per_gpu(self, bytes_per_param: float = 1.0) -> float:
+        """Full-model weight footprint per rank (layers + embeddings/LM head,
+        both vocabulary-sharded)."""
+        layer = self.layer_params_per_gpu() * self.model.layers
+        embed = self.model.embedding_params / self.degree
+        return (layer + embed) * bytes_per_param
+
+    # --- KV cache ---------------------------------------------------------------
+
+    def kv_bytes_per_token_per_gpu(self, bytes_per_elem: float = 1.0) -> float:
+        """KV-cache bytes per cached token on each rank."""
+        logical = self.model.kv_bytes_per_token(bytes_per_elem)
+        if self.kv_placement is KVPlacement.SHARDED:
+            return logical / self.degree
+        return logical * self.kv_replication / self.degree
+
+    def kv_bytes_per_gpu(self, tokens: int, bytes_per_elem: float = 1.0) -> float:
+        """KV-cache bytes on each rank for ``tokens`` cached tokens."""
+        if tokens < 0:
+            raise SpecError("tokens must be non-negative")
+        return tokens * self.kv_bytes_per_token_per_gpu(bytes_per_elem)
+
+    def max_cached_tokens(
+        self,
+        capacity_bytes: float,
+        weight_bytes_per_param: float = 1.0,
+        reserve_fraction: float = 0.05,
+    ) -> int:
+        """Largest token count whose KV cache fits next to the weights.
+
+        ``reserve_fraction`` of capacity is held back for activations and
+        workspace (CUDA graphs, cuBLAS scratch, fragmentation).
+        """
+        if capacity_bytes <= 0:
+            raise SpecError("capacity must be positive")
+        if not 0.0 <= reserve_fraction < 1.0:
+            raise SpecError("reserve_fraction must be in [0, 1)")
+        usable = capacity_bytes * (1.0 - reserve_fraction)
+        free = usable - self.weight_bytes_per_gpu(weight_bytes_per_param)
+        if free <= 0:
+            return 0
+        per_token = self.kv_bytes_per_token_per_gpu()
+        return int(free / per_token)
+
+    def fits(self, capacity_bytes: float, weight_bytes_per_param: float = 1.0) -> bool:
+        """Whether the weight shard alone fits each rank."""
+        return self.weight_bytes_per_gpu(weight_bytes_per_param) <= capacity_bytes * 0.95
+
+
+def valid_tp_degrees(
+    model: ModelSpec,
+    max_degree: int,
+    scaleup_domain: int = 8,
+) -> List[int]:
+    """Tensor-parallel degrees the search sweeps for ``model``.
+
+    A degree is valid when it divides the model's query heads, and — for
+    degrees beyond one scale-up domain — is a multiple of the domain size so
+    hierarchical collectives have whole groups (Figure 2's Lite-groups).
+
+    >>> from repro.workloads import LLAMA3_70B
+    >>> valid_tp_degrees(LLAMA3_70B, 8)
+    [1, 2, 4, 8]
+    >>> valid_tp_degrees(LLAMA3_70B, 32, scaleup_domain=4)
+    [1, 2, 4, 8, 16, 32]
+    """
+    if max_degree <= 0:
+        raise SpecError("max_degree must be positive")
+    if scaleup_domain <= 0:
+        raise SpecError("scaleup_domain must be positive")
+    degrees = []
+    for t in range(1, max_degree + 1):
+        if model.heads % t != 0:
+            continue
+        if t > scaleup_domain and t % scaleup_domain != 0:
+            continue
+        degrees.append(t)
+    return degrees

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the litegpu reproduction library.
+
+All library-raised errors derive from :class:`LiteGPUError` so callers can
+catch everything from this package with one handler while still being able to
+distinguish configuration problems from infeasible model placements.
+"""
+
+from __future__ import annotations
+
+
+class LiteGPUError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SpecError(LiteGPUError, ValueError):
+    """A hardware / model / network specification is malformed.
+
+    Raised during construction of spec dataclasses when a field is out of its
+    physical range (negative bandwidth, zero dies, ...).
+    """
+
+
+class InfeasibleError(LiteGPUError):
+    """A requested placement or configuration cannot satisfy its constraints.
+
+    Examples: model weights do not fit the cluster's aggregate memory, no
+    tensor-parallel degree divides the attention heads, or a latency SLO is
+    unachievable at every swept configuration.
+    """
+
+
+class AllocationError(LiteGPUError):
+    """The cluster allocator cannot satisfy a resource request."""
+
+
+class SimulationError(LiteGPUError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class RegistryError(LiteGPUError, KeyError):
+    """Lookup of a named spec (GPU type, model name, link class) failed."""

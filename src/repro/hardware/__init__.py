@@ -1,0 +1,83 @@
+"""Hardware substrate: dies, yield, wafers, cost, GPUs, power, cooling.
+
+This package makes Section 2's hardware arguments executable:
+
+- :mod:`repro.hardware.die` — die geometry and the area-vs-perimeter
+  ("shoreline") scaling at the heart of the bandwidth-to-compute argument.
+- :mod:`repro.hardware.yieldmodel` — Poisson / Murphy / Seeds /
+  negative-binomial die-yield models (the paper's 1.8x claim).
+- :mod:`repro.hardware.wafer` — dies-per-wafer geometry and wafer pricing.
+- :mod:`repro.hardware.cost` — manufacturing + packaging cost rollup
+  (the paper's ~50% cost-reduction claim).
+- :mod:`repro.hardware.gpu` — :class:`GPUSpec` and the Table 1 catalogue.
+- :mod:`repro.hardware.scaling` — derive Lite-GPUs from a parent GPU.
+- :mod:`repro.hardware.power` — power / DVFS / energy models.
+- :mod:`repro.hardware.cooling` — thermal limits, air vs. liquid cooling.
+- :mod:`repro.hardware.evolution` — the GPU-generation dataset of Figure 1.
+"""
+
+from .die import DieSpec, RETICLE_LIMIT_MM2, shoreline_ratio
+from .yieldmodel import (
+    YieldModel,
+    murphy_yield,
+    negative_binomial_yield,
+    poisson_yield,
+    seeds_yield,
+    yield_gain,
+)
+from .wafer import WaferSpec, dies_per_wafer, good_dies_per_wafer
+from .cost import CostBreakdown, CostModel, PackagingTier
+from .gpu import (
+    GPU_TYPES,
+    GPUSpec,
+    H100,
+    LITE,
+    LITE_MEMBW,
+    LITE_MEMBW_NETBW,
+    LITE_NETBW,
+    LITE_NETBW_FLOPS,
+    TABLE1_ORDER,
+    get_gpu,
+)
+from .scaling import LiteScaling, derive_lite_gpu
+from .power import ClockPolicy, DVFSCurve, PowerModel
+from .cooling import CoolingKind, CoolingModel, ThermalEnvironment
+from .evolution import GPU_GENERATIONS, GPUGeneration
+
+__all__ = [
+    "DieSpec",
+    "RETICLE_LIMIT_MM2",
+    "shoreline_ratio",
+    "YieldModel",
+    "murphy_yield",
+    "negative_binomial_yield",
+    "poisson_yield",
+    "seeds_yield",
+    "yield_gain",
+    "WaferSpec",
+    "dies_per_wafer",
+    "good_dies_per_wafer",
+    "CostBreakdown",
+    "CostModel",
+    "PackagingTier",
+    "GPU_TYPES",
+    "GPUSpec",
+    "H100",
+    "LITE",
+    "LITE_MEMBW",
+    "LITE_MEMBW_NETBW",
+    "LITE_NETBW",
+    "LITE_NETBW_FLOPS",
+    "TABLE1_ORDER",
+    "get_gpu",
+    "LiteScaling",
+    "derive_lite_gpu",
+    "ClockPolicy",
+    "DVFSCurve",
+    "PowerModel",
+    "CoolingKind",
+    "CoolingModel",
+    "ThermalEnvironment",
+    "GPU_GENERATIONS",
+    "GPUGeneration",
+]

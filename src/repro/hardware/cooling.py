@@ -1,0 +1,140 @@
+"""Thermal and cooling models: air vs. liquid, throttling, overclock headroom.
+
+Section 2: *"smaller packages also greatly reduce complexity of cooling ...
+smaller single-die GPUs can be air-cooled separately and even sustain higher
+clock frequencies"*; Section 3 adds that lighter per-rack cooling "can
+eliminate the need for liquid cooling racks".
+
+The model is a standard thermal-resistance abstraction: junction temperature
+``Tj = T_ambient + P * R_theta`` where the junction-to-ambient resistance
+``R_theta`` falls with die area (more spreading) and depends on the cooling
+technology.  From it we derive: whether a GPU needs liquid cooling, how much
+it must throttle under a given ambient, and the sustainable overclock of a
+Lite-GPU.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import SpecError
+from .gpu import GPUSpec
+
+
+class CoolingKind(enum.Enum):
+    """Cooling technologies with representative thermal performance."""
+
+    AIR = "air"
+    LIQUID_COLD_PLATE = "liquid"
+    IMMERSION = "immersion"
+
+
+#: Base junction-to-ambient thermal resistance (K/W) for a reference
+#: 800 mm^2-class package under each technology.
+_BASE_RESISTANCE_K_PER_W = {
+    CoolingKind.AIR: 0.085,
+    CoolingKind.LIQUID_COLD_PLATE: 0.040,
+    CoolingKind.IMMERSION: 0.030,
+}
+
+#: Reference die area for the base resistances above (mm^2).
+_REFERENCE_AREA_MM2 = 800.0
+
+
+@dataclass(frozen=True)
+class ThermalEnvironment:
+    """Ambient conditions and junction limit for thermal calculations."""
+
+    ambient_c: float = 35.0
+    junction_limit_c: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.junction_limit_c <= self.ambient_c:
+            raise SpecError("junction limit must exceed ambient")
+
+    @property
+    def budget_k(self) -> float:
+        """Allowed junction temperature rise (K)."""
+        return self.junction_limit_c - self.ambient_c
+
+
+@dataclass(frozen=True)
+class CoolingModel:
+    """Thermal model for one GPU package under a cooling technology.
+
+    Thermal resistance scales with 1/sqrt(area): heat spreading improves
+    with die size, but sub-linearly — which is exactly why halving die area
+    four-fold (area/4, resistance x2) still wins on *power*: TDP drops 4x
+    while resistance only doubles, halving the temperature rise.
+    """
+
+    kind: CoolingKind = CoolingKind.AIR
+    env: ThermalEnvironment = ThermalEnvironment()
+
+    def thermal_resistance(self, die_area_mm2: float) -> float:
+        """Junction-to-ambient resistance (K/W) for a die of this area."""
+        if die_area_mm2 <= 0:
+            raise SpecError("die area must be positive")
+        base = _BASE_RESISTANCE_K_PER_W[self.kind]
+        return base * math.sqrt(_REFERENCE_AREA_MM2 / die_area_mm2)
+
+    def junction_temp(self, gpu: GPUSpec, power_w: float | None = None) -> float:
+        """Steady-state junction temperature (C) at ``power_w`` (default TDP)."""
+        power = gpu.tdp if power_w is None else power_w
+        if power < 0:
+            raise SpecError("power must be non-negative")
+        return self.env.ambient_c + power * self.thermal_resistance(gpu.die.area_mm2)
+
+    def max_power(self, gpu: GPUSpec) -> float:
+        """Largest dissipation (W) that keeps the junction within limits."""
+        return self.env.budget_k / self.thermal_resistance(gpu.die.area_mm2)
+
+    def can_cool(self, gpu: GPUSpec) -> bool:
+        """Whether this cooling sustains the GPU at full TDP."""
+        return self.max_power(gpu) >= gpu.tdp
+
+    def throttle_factor(self, gpu: GPUSpec, dvfs_exponent: float = 2.4) -> float:
+        """Clock factor forced by thermal limits (1.0 = no throttling).
+
+        If TDP exceeds the coolable power, the clock is reduced until power
+        (~ clock^exponent) fits the envelope.
+        """
+        limit = self.max_power(gpu)
+        if limit >= gpu.tdp:
+            return 1.0
+        return (limit / gpu.tdp) ** (1.0 / dvfs_exponent)
+
+    def overclock_headroom(self, gpu: GPUSpec, dvfs_exponent: float = 2.4) -> float:
+        """Sustainable overclock factor (>= 1.0) within the thermal envelope.
+
+        This quantifies the paper's "+FLOPS" variants: small dies under the
+        same cooling can clock higher before hitting the junction limit.
+        """
+        limit = self.max_power(gpu)
+        if limit <= 0:
+            raise SpecError("non-positive cooling limit")
+        factor = (limit / gpu.tdp) ** (1.0 / dvfs_exponent)
+        return max(1.0, factor)
+
+
+def rack_cooling_requirement(
+    gpu: GPUSpec,
+    gpus_per_rack: int,
+    air_limit_kw: float = 40.0,
+) -> CoolingKind:
+    """Decide the rack-level cooling technology.
+
+    Racks above ``air_limit_kw`` of IT load need liquid cooling (the
+    GB200-NVL72-style racks the paper says Lite-GPUs could avoid); below it,
+    air suffices if each package is individually air-coolable.
+    """
+    if gpus_per_rack <= 0:
+        raise SpecError("gpus_per_rack must be positive")
+    rack_kw = gpu.tdp * gpus_per_rack / 1e3
+    if rack_kw > air_limit_kw:
+        return CoolingKind.LIQUID_COLD_PLATE
+    if CoolingModel(CoolingKind.AIR).can_cool(gpu):
+        return CoolingKind.AIR
+    return CoolingKind.LIQUID_COLD_PLATE

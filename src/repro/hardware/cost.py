@@ -1,0 +1,178 @@
+"""Manufacturing-cost rollup: silicon + packaging + memory + test.
+
+Quantifies Section 2's economics: *"we expect the cost of Lite-GPUs to be
+substantially lower due to better hardware yield and lower packaging costs.
+While the cost of networking should increase, we expect the net gains to be
+positive."*
+
+The model composes:
+
+- **silicon** — wafer cost amortized over *good* dies (:mod:`.wafer` +
+  :mod:`.yieldmodel`);
+- **packaging** — tiered: advanced 2.5D/CoWoS-class packaging for big
+  multi-die parts is disproportionately expensive and has its own assembly
+  yield; small single-die packages are cheap and high-yield;
+- **memory** — HBM stacks priced per GB (dominant BOM item, scales with
+  capacity so it is roughly neutral between one H100 and four Lite-GPUs);
+- **test/misc** — flat per-package cost.
+
+Networking cost (optics, switches) is accounted separately in
+:mod:`repro.network.fabric` so cluster-level comparisons can include it.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from ..errors import SpecError
+from .wafer import WaferSpec
+from .yieldmodel import YieldModel
+
+
+class PackagingTier(enum.Enum):
+    """Packaging technology classes with very different cost/yield points."""
+
+    #: Standard organic-substrate flip-chip; cheap, mature, high yield.
+    STANDARD = "standard"
+    #: 2.5D silicon interposer (CoWoS-class), required for HBM integration.
+    INTERPOSER_2_5D = "2.5d"
+    #: Multi-die advanced packaging (CoWoS-L-class, Blackwell-style).
+    ADVANCED_MULTI_DIE = "advanced"
+
+
+#: (base_usd, usd_per_mm2, usd_per_mm2_squared, assembly_yield_area_scale_mm2)
+#: Cost grows superlinearly with packaged area (large interposers are
+#: disproportionately expensive) and assembly yield decays with area
+#: (``exp(-area / scale)``) — both effects favour small packages, which is
+#: the paper's "lower packaging costs" argument.
+_PACKAGING_PARAMS = {
+    PackagingTier.STANDARD: (15.0, 0.05, 0.0, 50_000.0),
+    PackagingTier.INTERPOSER_2_5D: (40.0, 0.18, 2.2e-4, 8_000.0),
+    PackagingTier.ADVANCED_MULTI_DIE: (100.0, 0.30, 4.0e-4, 5_000.0),
+}
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-package cost components (USD) and the resulting total."""
+
+    silicon: float
+    packaging: float
+    memory: float
+    test: float
+
+    @property
+    def total(self) -> float:
+        """Sum of all components."""
+        return self.silicon + self.packaging + self.memory + self.test
+
+    def scaled(self, factor: float) -> "CostBreakdown":
+        """All components multiplied by ``factor`` (e.g. per-cluster rollup)."""
+        return CostBreakdown(
+            self.silicon * factor,
+            self.packaging * factor,
+            self.memory * factor,
+            self.test * factor,
+        )
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(
+            self.silicon + other.silicon,
+            self.packaging + other.packaging,
+            self.memory + other.memory,
+            self.test + other.test,
+        )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Composable GPU-package cost model.
+
+    >>> cm = CostModel()
+    >>> h100 = cm.package_cost(die_area_mm2=814, hbm_gb=80,
+    ...                        tier=PackagingTier.INTERPOSER_2_5D)
+    >>> lite = cm.package_cost(die_area_mm2=814 / 4, hbm_gb=20,
+    ...                        tier=PackagingTier.INTERPOSER_2_5D)
+    >>> lite.silicon * 4 < h100.silicon   # 4 Lite dies cost less silicon
+    True
+    """
+
+    wafer: WaferSpec = field(default_factory=WaferSpec)
+    yield_model: YieldModel = field(default_factory=YieldModel.murphy)
+    hbm_usd_per_gb: float = 12.0
+    test_usd: float = 40.0
+
+    def silicon_cost(self, die_area_mm2: float) -> float:
+        """Silicon cost per good die."""
+        return self.wafer.cost_per_good_die(die_area_mm2, self.yield_model)
+
+    def packaging_cost(self, die_area_mm2: float, tier: PackagingTier) -> float:
+        """Packaging cost for a package hosting ``die_area_mm2`` of compute
+        silicon, including the assembly-yield markup (scrapped assemblies
+        waste their inputs)."""
+        base, linear, quadratic, yield_scale = _PACKAGING_PARAMS[tier]
+        raw = base + linear * die_area_mm2 + quadratic * die_area_mm2**2
+        assembly_yield = math.exp(-die_area_mm2 / yield_scale)
+        return raw / assembly_yield
+
+    def package_cost(
+        self,
+        die_area_mm2: float,
+        hbm_gb: float,
+        tier: PackagingTier = PackagingTier.INTERPOSER_2_5D,
+        compute_dies: int = 1,
+    ) -> CostBreakdown:
+        """Full cost of one GPU package.
+
+        ``compute_dies`` > 1 models Blackwell-style multi-die packages: each
+        die pays silicon cost and the whole assembly uses the (more
+        expensive) multi-die tier.
+        """
+        if compute_dies <= 0:
+            raise SpecError("compute_dies must be positive")
+        if hbm_gb < 0:
+            raise SpecError("hbm_gb must be non-negative")
+        silicon = compute_dies * self.silicon_cost(die_area_mm2)
+        packaging = self.packaging_cost(die_area_mm2 * compute_dies, tier)
+        memory = hbm_gb * self.hbm_usd_per_gb
+        return CostBreakdown(silicon=silicon, packaging=packaging, memory=memory, test=self.test_usd)
+
+    def equivalent_compute_cost(
+        self,
+        parent_area_mm2: float,
+        split: int,
+        parent_hbm_gb: float,
+        parent_tier: PackagingTier = PackagingTier.INTERPOSER_2_5D,
+        lite_tier: PackagingTier = PackagingTier.INTERPOSER_2_5D,
+    ) -> tuple[CostBreakdown, CostBreakdown]:
+        """Cost of one parent GPU vs. ``split`` Lite-GPUs of equal total
+        compute/memory.  Returns ``(parent, lite_total)`` breakdowns.
+
+        This is the Figure 2 / Section 2 comparison: same aggregate silicon
+        area and HBM, very different yield and packaging economics.
+        """
+        if split <= 0:
+            raise SpecError("split must be positive")
+        parent = self.package_cost(parent_area_mm2, parent_hbm_gb, parent_tier)
+        lite_each = self.package_cost(parent_area_mm2 / split, parent_hbm_gb / split, lite_tier)
+        return parent, lite_each.scaled(split)
+
+    def cost_reduction(
+        self,
+        parent_area_mm2: float = 814.0,
+        split: int = 4,
+        parent_hbm_gb: float = 80.0,
+        silicon_only: bool = True,
+    ) -> float:
+        """Fractional cost reduction of the Lite option (0.5 = half price).
+
+        With ``silicon_only`` (the paper's framing: "manufacturing cost" of
+        the compute die), Murphy at D0=0.1 and a 4-way split of an 814 mm^2
+        die gives ~0.52 — the paper's "almost 50% reduction".
+        """
+        parent, lite = self.equivalent_compute_cost(parent_area_mm2, split, parent_hbm_gb)
+        if silicon_only:
+            return 1.0 - lite.silicon / parent.silicon
+        return 1.0 - lite.total / parent.total

@@ -1,0 +1,106 @@
+"""Die geometry: area, perimeter ("shoreline"), and their scaling.
+
+Section 2 of the paper rests on a simple geometric fact: *"as the die gets
+larger, its area increases faster than its perimeter"*.  The perimeter — the
+paper's "shoreline" — bounds how many I/O lanes (HBM PHYs, NVLink SerDes,
+optical engines) a die can expose, so area-proportional compute outruns
+perimeter-proportional bandwidth.  Conversely, cutting an H100-class die into
+four quarters doubles the total perimeter for the same total area, which is
+the paper's "2x bandwidth-to-compute" claim.
+
+:class:`DieSpec` models a rectangular die; :func:`shoreline_ratio` computes
+the total-perimeter gain of splitting a die into ``n`` equal parts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SpecError
+
+#: Single-exposure lithography reticle limit (mm^2).  Dies above this cannot
+#: be manufactured as a single exposure — the hard wall that motivates both
+#: multi-die packages (Blackwell) and, in this paper, Lite-GPUs.
+RETICLE_LIMIT_MM2 = 858.0
+
+
+@dataclass(frozen=True)
+class DieSpec:
+    """A rectangular compute die.
+
+    ``area_mm2`` and ``aspect`` (width/height ratio, >= 1) determine the
+    geometry.  H100's die is about 814 mm^2 at roughly 4:3.
+    """
+
+    area_mm2: float
+    aspect: float = 4.0 / 3.0
+
+    def __post_init__(self) -> None:
+        if self.area_mm2 <= 0:
+            raise SpecError("die area must be positive")
+        if self.aspect < 1.0:
+            raise SpecError("aspect is width/height and must be >= 1")
+
+    @property
+    def width_mm(self) -> float:
+        """Die width in mm (the longer side)."""
+        return math.sqrt(self.area_mm2 * self.aspect)
+
+    @property
+    def height_mm(self) -> float:
+        """Die height in mm (the shorter side)."""
+        return math.sqrt(self.area_mm2 / self.aspect)
+
+    @property
+    def perimeter_mm(self) -> float:
+        """Shoreline: the die perimeter in mm."""
+        return 2.0 * (self.width_mm + self.height_mm)
+
+    @property
+    def shoreline_per_area(self) -> float:
+        """Perimeter-to-area ratio (mm / mm^2); higher favours I/O-rich dies."""
+        return self.perimeter_mm / self.area_mm2
+
+    @property
+    def within_reticle(self) -> bool:
+        """Whether the die fits a single lithography exposure."""
+        return self.area_mm2 <= RETICLE_LIMIT_MM2
+
+    def split(self, parts: int) -> "DieSpec":
+        """The die of one part when this die is divided into ``parts`` equal
+        dies of the same aspect ratio.
+
+        >>> DieSpec(814.0).split(4).area_mm2
+        203.5
+        """
+        if parts <= 0:
+            raise SpecError("parts must be positive")
+        return DieSpec(area_mm2=self.area_mm2 / parts, aspect=self.aspect)
+
+    def max_shoreline_bandwidth(self, gbps_per_mm: float) -> float:
+        """Aggregate off-die bandwidth (bytes/s) the shoreline can host given
+        an I/O density in GB/s per mm of die edge.
+
+        Beachfront densities of 100-500 GB/s/mm are representative of modern
+        HBM + SerDes escape routing; co-packaged optics pushes this up.
+        """
+        if gbps_per_mm <= 0:
+            raise SpecError("gbps_per_mm must be positive")
+        return self.perimeter_mm * gbps_per_mm * 1e9
+
+
+def shoreline_ratio(parts: int) -> float:
+    """Total-perimeter gain from splitting one die into ``parts`` equal dies.
+
+    Each part has area A/n, hence linear dimensions scaled by 1/sqrt(n) and
+    perimeter P/sqrt(n); n parts give a total perimeter of sqrt(n) * P.
+    Splitting into 4 therefore doubles the total shoreline — the paper's
+    "2x the bandwidth-to-compute ratio" for the four-way Lite-H100.
+
+    >>> shoreline_ratio(4)
+    2.0
+    """
+    if parts <= 0:
+        raise SpecError("parts must be positive")
+    return math.sqrt(parts)

@@ -1,0 +1,106 @@
+"""Historical GPU-generation dataset behind Figure 1.
+
+Figure 1 ("Evolution of GPUs in AI clusters") illustrates how data-center
+GPUs have scaled: single dies grew to the reticle limit, then packaging
+absorbed the growth (HBM stacks, dual-die Blackwell), with power and cooling
+following.  This module encodes the public datasheet series so the Figure 1
+benchmark can regenerate the trend table, and so tests can assert the trends
+the paper's argument depends on (die area saturates; transistors, power and
+packaged silicon keep climbing; perimeter-per-area falls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import SpecError
+from .die import DieSpec
+
+
+@dataclass(frozen=True)
+class GPUGeneration:
+    """One data-center GPU generation (public datasheet numbers)."""
+
+    name: str
+    year: int
+    compute_dies: int
+    die_area_mm2: float  # per compute die
+    transistors_b: float  # billions, whole package
+    tdp_w: float
+    hbm_gb: float
+    mem_bw_gbs: float
+    process_nm: float
+    packaging: str
+
+    def __post_init__(self) -> None:
+        if self.compute_dies <= 0 or self.die_area_mm2 <= 0:
+            raise SpecError(f"{self.name}: dies and area must be positive")
+        if min(self.transistors_b, self.tdp_w, self.hbm_gb, self.mem_bw_gbs) <= 0:
+            raise SpecError(f"{self.name}: datasheet fields must be positive")
+
+    @property
+    def total_die_area_mm2(self) -> float:
+        """Packaged compute silicon (all dies)."""
+        return self.compute_dies * self.die_area_mm2
+
+    @property
+    def die(self) -> DieSpec:
+        """Geometry of one compute die."""
+        return DieSpec(self.die_area_mm2)
+
+    @property
+    def power_density_w_mm2(self) -> float:
+        """TDP per mm^2 of compute silicon."""
+        return self.tdp_w / self.total_die_area_mm2
+
+    @property
+    def transistor_density_m_mm2(self) -> float:
+        """Million transistors per mm^2 of compute silicon."""
+        return self.transistors_b * 1e3 / self.total_die_area_mm2
+
+    @property
+    def bw_per_area(self) -> float:
+        """Memory bandwidth (GB/s) per mm^2 of compute silicon — falls as
+        dies grow (the shoreline squeeze Figure 1 illustrates)."""
+        return self.mem_bw_gbs / self.total_die_area_mm2
+
+
+#: NVIDIA data-center GPU line, public datasheet numbers.
+GPU_GENERATIONS: List[GPUGeneration] = [
+    GPUGeneration("P100", 2016, 1, 610.0, 15.3, 300.0, 16.0, 732.0, 16.0, "CoWoS + HBM2"),
+    GPUGeneration("V100", 2017, 1, 815.0, 21.1, 300.0, 32.0, 900.0, 12.0, "CoWoS + HBM2"),
+    GPUGeneration("A100", 2020, 1, 826.0, 54.2, 400.0, 80.0, 2039.0, 7.0, "CoWoS + HBM2e"),
+    GPUGeneration("H100", 2022, 1, 814.0, 80.0, 700.0, 80.0, 3352.0, 4.0, "CoWoS + HBM3"),
+    GPUGeneration("B200", 2024, 2, 800.0, 208.0, 1000.0, 192.0, 8000.0, 4.0, "CoWoS-L dual-die + HBM3e"),
+]
+
+
+def generation(name: str) -> GPUGeneration:
+    """Look up a generation by name."""
+    for gen in GPU_GENERATIONS:
+        if gen.name.lower() == name.lower():
+            return gen
+    known = ", ".join(g.name for g in GPU_GENERATIONS)
+    raise SpecError(f"unknown GPU generation '{name}'; known: {known}")
+
+
+def evolution_trends() -> dict:
+    """Summary trends across the generation series (Figure 1's story).
+
+    Returns first/last ratios for the quantities the paper's argument uses:
+    transistor growth far outpacing die-area growth, power density rising,
+    per-area bandwidth pressure.
+    """
+    first, last = GPU_GENERATIONS[0], GPU_GENERATIONS[-1]
+    years = last.year - first.year
+    return {
+        "years": years,
+        "transistor_growth": last.transistors_b / first.transistors_b,
+        "total_area_growth": last.total_die_area_mm2 / first.total_die_area_mm2,
+        "per_die_area_growth": last.die_area_mm2 / first.die_area_mm2,
+        "tdp_growth": last.tdp_w / first.tdp_w,
+        "power_density_growth": last.power_density_w_mm2 / first.power_density_w_mm2,
+        "mem_bw_growth": last.mem_bw_gbs / first.mem_bw_gbs,
+        "dies_per_package_growth": last.compute_dies / first.compute_dies,
+    }

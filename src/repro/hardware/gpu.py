@@ -1,0 +1,272 @@
+"""GPU specifications, including the paper's Table 1 catalogue.
+
+:class:`GPUSpec` holds the capabilities the roofline model consumes (peak
+FLOPS, memory capacity/bandwidth, network bandwidth, SM count) plus physical
+attributes used by the hardware-economics models (die, TDP).
+
+The module defines all six Table 1 configurations exactly as printed:
+
+======================  ======  ====  =======  ======  =====
+GPU type                TFLOPS  Cap.  Mem BW   Net BW  #Max
+                                GB    GB/s     GB/s    GPUs
+======================  ======  ====  =======  ======  =====
+H100                    2000    80    3352     450     8
+Lite                    500     20    838      112.5   32
+Lite+NetBW              500     20    838      225     32
+Lite+NetBW+FLOPS        550     20    419      225     32
+Lite+MemBW              500     20    1675     112.5   32
+Lite+MemBW+NetBW        500     20    1675     225     32
+======================  ======  ====  =======  ======  =====
+
+H100's 2000 TFLOPS corresponds to the FP8 dense datasheet figure; the library
+therefore defaults to one byte per weight/KV element (see DESIGN.md §4.1).
+Lite variants trade shoreline between memory and network bandwidth and may
+overclock ("+FLOPS": 10% higher clock enabled by easier cooling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .._registry import Registry
+from ..errors import SpecError
+from ..units import GB, GB_PER_S, TFLOPS, WATT
+from .die import DieSpec
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU type: performance envelope plus physical attributes.
+
+    All rates are SI (FLOP/s, bytes/s, bytes); ``sms`` is the streaming
+    multiprocessor count used for the paper's tokens/s/SM normalization;
+    ``max_cluster`` is Table 1's "#Max GPUs" search bound.
+    """
+
+    name: str
+    peak_flops: float
+    mem_capacity: float
+    mem_bandwidth: float
+    net_bandwidth: float
+    sms: int
+    max_cluster: int
+    die: DieSpec
+    tdp: float
+    base_clock_ghz: float = 1.98
+    #: Size of the tightly-coupled scale-up domain: the NVLink domain for an
+    #: H100 (8) or the direct-connect Lite-group of Figure 2 (4 for Lite
+    #: variants).  Collectives inside the domain run at ``mesh_bandwidth``;
+    #: across domains they use ``net_bandwidth`` per GPU.
+    scaleup_domain: int = 8
+    #: Per-GPU bandwidth on intra-domain links (bytes/s).  0 means "same as
+    #: net_bandwidth" (H100: NVLink *is* the network).  Lite-GPUs get extra
+    #: direct-connect shoreline inside their group: one link to each of the
+    #: (group-1) neighbours at the network link rate.
+    mesh_bandwidth: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.peak_flops, self.mem_capacity, self.mem_bandwidth, self.net_bandwidth) <= 0:
+            raise SpecError(f"{self.name}: rates and capacities must be positive")
+        if self.sms <= 0 or self.max_cluster <= 0:
+            raise SpecError(f"{self.name}: sms and max_cluster must be positive")
+        if self.tdp <= 0 or self.base_clock_ghz <= 0:
+            raise SpecError(f"{self.name}: tdp and clock must be positive")
+        if self.scaleup_domain <= 0:
+            raise SpecError(f"{self.name}: scaleup_domain must be positive")
+        if self.mesh_bandwidth < 0:
+            raise SpecError(f"{self.name}: mesh_bandwidth must be non-negative")
+        if self.mesh_bandwidth == 0.0:
+            object.__setattr__(self, "mesh_bandwidth", self.net_bandwidth)
+
+    # --- per-SM and ratio metrics -------------------------------------------
+
+    @property
+    def flops_per_sm(self) -> float:
+        """Peak FLOP/s per streaming multiprocessor."""
+        return self.peak_flops / self.sms
+
+    @property
+    def mem_bw_per_sm(self) -> float:
+        """Memory bandwidth per SM (bytes/s)."""
+        return self.mem_bandwidth / self.sms
+
+    @property
+    def net_bw_per_sm(self) -> float:
+        """Network bandwidth per SM (bytes/s)."""
+        return self.net_bandwidth / self.sms
+
+    @property
+    def mem_bytes_per_flop(self) -> float:
+        """Memory bandwidth-to-compute ratio (bytes/FLOP); the paper's
+        headline Lite-GPU advantage when shoreline is spent on HBM."""
+        return self.mem_bandwidth / self.peak_flops
+
+    @property
+    def net_bytes_per_flop(self) -> float:
+        """Network bandwidth-to-compute ratio (bytes/FLOP)."""
+        return self.net_bandwidth / self.peak_flops
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Roofline ridge point (FLOP/byte): arithmetic intensity above which
+        the GPU is compute-bound."""
+        return self.peak_flops / self.mem_bandwidth
+
+    @property
+    def power_density_w_mm2(self) -> float:
+        """TDP per die area (W/mm^2) — the cooling-difficulty proxy."""
+        return self.tdp / self.die.area_mm2
+
+    @property
+    def hbm_seconds(self) -> float:
+        """Time to read the entire HBM once (capacity / bandwidth)."""
+        return self.mem_capacity / self.mem_bandwidth
+
+    def with_clock_factor(self, factor: float, name: str | None = None) -> "GPUSpec":
+        """A copy with compute clock scaled by ``factor`` (FLOPS scale
+        linearly; memory/network bandwidths are unaffected)."""
+        if factor <= 0:
+            raise SpecError("clock factor must be positive")
+        return replace(
+            self,
+            name=name or f"{self.name}@x{factor:g}",
+            peak_flops=self.peak_flops * factor,
+            base_clock_ghz=self.base_clock_ghz * factor,
+        )
+
+    def describe(self) -> str:
+        """One-line summary in Table 1's units."""
+        return (
+            f"{self.name}: {self.peak_flops / TFLOPS:.0f} TFLOPS, "
+            f"{self.mem_capacity / GB:.0f} GB, {self.mem_bandwidth / GB_PER_S:.0f} GB/s mem, "
+            f"{self.net_bandwidth / GB_PER_S:.1f} GB/s net, {self.sms} SMs, "
+            f"max {self.max_cluster} GPUs"
+        )
+
+
+GPU_TYPES: Registry[GPUSpec] = Registry("GPU type")
+
+
+def _register(spec: GPUSpec) -> GPUSpec:
+    return GPU_TYPES.register(spec.name, spec)
+
+
+_H100_DIE = DieSpec(area_mm2=814.0)
+_LITE_DIE = _H100_DIE.split(4)
+
+#: Baseline: NVIDIA H100 (SXM), FP8 dense numbers as in Table 1.
+H100 = _register(
+    GPUSpec(
+        name="H100",
+        peak_flops=2000 * TFLOPS,
+        mem_capacity=80 * GB,
+        mem_bandwidth=3352 * GB_PER_S,
+        net_bandwidth=450 * GB_PER_S,
+        sms=132,
+        max_cluster=8,
+        die=_H100_DIE,
+        tdp=700 * WATT,
+    )
+)
+
+#: Basic Lite-GPU: every H100 capability divided by four.  Lite variants form
+#: direct-connect groups of four (Figure 2): three extra mesh links at the
+#: network link rate, paid for by the split's 2x shoreline surplus.
+LITE = _register(
+    GPUSpec(
+        name="Lite",
+        peak_flops=500 * TFLOPS,
+        mem_capacity=20 * GB,
+        mem_bandwidth=838 * GB_PER_S,
+        net_bandwidth=112.5 * GB_PER_S,
+        sms=33,
+        max_cluster=32,
+        die=_LITE_DIE,
+        tdp=175 * WATT,
+        scaleup_domain=4,
+        mesh_bandwidth=3 * 112.5 * GB_PER_S,
+    )
+)
+
+#: Lite with doubled network bandwidth (shoreline spent on the network).
+LITE_NETBW = _register(
+    GPUSpec(
+        name="Lite+NetBW",
+        peak_flops=500 * TFLOPS,
+        mem_capacity=20 * GB,
+        mem_bandwidth=838 * GB_PER_S,
+        net_bandwidth=225 * GB_PER_S,
+        sms=33,
+        max_cluster=32,
+        die=_LITE_DIE,
+        tdp=175 * WATT,
+        scaleup_domain=4,
+        mesh_bandwidth=3 * 225 * GB_PER_S,
+    )
+)
+
+#: Lite with doubled network bandwidth and a 10% overclock, trading memory
+#: bandwidth away (Table 1 halves it to 419 GB/s) — a prefill specialist.
+LITE_NETBW_FLOPS = _register(
+    GPUSpec(
+        name="Lite+NetBW+FLOPS",
+        peak_flops=550 * TFLOPS,
+        mem_capacity=20 * GB,
+        mem_bandwidth=419 * GB_PER_S,
+        net_bandwidth=225 * GB_PER_S,
+        sms=33,
+        max_cluster=32,
+        die=_LITE_DIE,
+        tdp=190 * WATT,
+        base_clock_ghz=1.98 * 1.1,
+        scaleup_domain=4,
+        mesh_bandwidth=3 * 225 * GB_PER_S,
+    )
+)
+
+#: Lite with doubled memory bandwidth (shoreline spent on HBM) — a decode
+#: specialist.
+LITE_MEMBW = _register(
+    GPUSpec(
+        name="Lite+MemBW",
+        peak_flops=500 * TFLOPS,
+        mem_capacity=20 * GB,
+        mem_bandwidth=1675 * GB_PER_S,
+        net_bandwidth=112.5 * GB_PER_S,
+        sms=33,
+        max_cluster=32,
+        die=_LITE_DIE,
+        tdp=175 * WATT,
+        scaleup_domain=4,
+        mesh_bandwidth=3 * 112.5 * GB_PER_S,
+    )
+)
+
+#: Decode specialist with doubled network bandwidth as well.
+LITE_MEMBW_NETBW = _register(
+    GPUSpec(
+        name="Lite+MemBW+NetBW",
+        peak_flops=500 * TFLOPS,
+        mem_capacity=20 * GB,
+        mem_bandwidth=1675 * GB_PER_S,
+        net_bandwidth=225 * GB_PER_S,
+        sms=33,
+        max_cluster=32,
+        die=_LITE_DIE,
+        tdp=175 * WATT,
+        scaleup_domain=4,
+        mesh_bandwidth=3 * 225 * GB_PER_S,
+    )
+)
+
+#: Table 1 presentation order.
+TABLE1_ORDER = (H100, LITE, LITE_NETBW, LITE_NETBW_FLOPS, LITE_MEMBW, LITE_MEMBW_NETBW)
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU type by name (case / punctuation insensitive).
+
+    >>> get_gpu("lite+membw").mem_bandwidth / 1e9
+    1675.0
+    """
+    return GPU_TYPES.get(name)

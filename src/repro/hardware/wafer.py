@@ -1,0 +1,80 @@
+"""Wafer geometry and economics: dies per wafer, good dies, cost per die.
+
+Combines with :mod:`repro.hardware.yieldmodel` to produce the paper's
+manufacturing-cost argument.  The standard dies-per-wafer approximation is
+
+    DPW = pi * (d/2)^2 / A  -  pi * d / sqrt(2 * A)
+
+(first term: area ratio; second: edge loss).  Smaller dies waste less wafer
+edge, so a 4-way split yields slightly *more* than 4x the dies — another
+small advantage compounding the yield gain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SpecError
+from .yieldmodel import YieldModel
+
+
+def dies_per_wafer(area_mm2: float, wafer_diameter_mm: float = 300.0) -> int:
+    """Gross dies per wafer by the standard area/edge-loss approximation.
+
+    >>> dies_per_wafer(814.0)
+    63
+    >>> dies_per_wafer(814.0 / 4)
+    300
+    """
+    if area_mm2 <= 0:
+        raise SpecError("die area must be positive")
+    if wafer_diameter_mm <= 0:
+        raise SpecError("wafer diameter must be positive")
+    radius = wafer_diameter_mm / 2.0
+    gross = math.pi * radius * radius / area_mm2
+    edge_loss = math.pi * wafer_diameter_mm / math.sqrt(2.0 * area_mm2)
+    return max(0, int(gross - edge_loss))
+
+
+def good_dies_per_wafer(
+    area_mm2: float,
+    yield_model: YieldModel,
+    wafer_diameter_mm: float = 300.0,
+) -> float:
+    """Expected defect-free dies per wafer."""
+    return dies_per_wafer(area_mm2, wafer_diameter_mm) * yield_model(area_mm2)
+
+
+@dataclass(frozen=True)
+class WaferSpec:
+    """A processed wafer: diameter and foundry price.
+
+    ~17k USD is representative of leading-edge (4nm/5nm-class) 300 mm wafer
+    pricing in the paper's timeframe; the absolute number cancels in the
+    relative comparisons the paper makes.
+    """
+
+    diameter_mm: float = 300.0
+    cost_usd: float = 17000.0
+
+    def __post_init__(self) -> None:
+        if self.diameter_mm <= 0:
+            raise SpecError("wafer diameter must be positive")
+        if self.cost_usd < 0:
+            raise SpecError("wafer cost must be non-negative")
+
+    def dies(self, area_mm2: float) -> int:
+        """Gross dies from one wafer."""
+        return dies_per_wafer(area_mm2, self.diameter_mm)
+
+    def good_dies(self, area_mm2: float, yield_model: YieldModel) -> float:
+        """Expected good dies from one wafer."""
+        return good_dies_per_wafer(area_mm2, yield_model, self.diameter_mm)
+
+    def cost_per_good_die(self, area_mm2: float, yield_model: YieldModel) -> float:
+        """Silicon cost (USD) per defect-free die."""
+        good = self.good_dies(area_mm2, yield_model)
+        if good <= 0:
+            raise SpecError("no good dies at this area/yield; cost undefined")
+        return self.cost_usd / good

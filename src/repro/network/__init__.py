@@ -1,0 +1,70 @@
+"""Network substrate: links, switches, topologies, collectives, fabrics.
+
+Implements the communication side of the paper:
+
+- :mod:`repro.network.links` — copper / pluggable-optics / co-packaged-optics
+  link technologies with bandwidth, reach, latency, and pJ/bit energy.
+- :mod:`repro.network.switches` — electrical packet switches vs. optical
+  circuit switches (the Section 3 ">50% better energy efficiency" claim).
+- :mod:`repro.network.collectives` — alpha-beta cost models for ring / tree
+  all-reduce, all-gather, reduce-scatter, all-to-all.
+- :mod:`repro.network.topology` — direct-connect Lite-groups, two-level
+  switched fabrics, and flat circuit-switched networks.
+- :mod:`repro.network.routing` — path computation and hop counting.
+- :mod:`repro.network.fabric` — whole-fabric rollups: cost, power, bisection.
+"""
+
+from .links import COPPER_NVLINK, CPO_OPTICS, LINK_TYPES, PLUGGABLE_OPTICS, LinkSpec, get_link
+from .switches import (
+    CIRCUIT_SWITCH_OCS,
+    PACKET_SWITCH_TOR,
+    SwitchKind,
+    SwitchSpec,
+    circuit_vs_packet_energy_gain,
+)
+from .collectives import (
+    Collective,
+    CollectiveCost,
+    all_gather_cost,
+    all_reduce_cost,
+    all_to_all_cost,
+    broadcast_cost,
+    reduce_scatter_cost,
+)
+from .topology import (
+    DirectConnectTopology,
+    FlatCircuitTopology,
+    SwitchedTopology,
+    Topology,
+)
+from .routing import hop_count_matrix, path_between
+from .fabric import Fabric, FabricReport
+
+__all__ = [
+    "COPPER_NVLINK",
+    "CPO_OPTICS",
+    "LINK_TYPES",
+    "PLUGGABLE_OPTICS",
+    "LinkSpec",
+    "get_link",
+    "CIRCUIT_SWITCH_OCS",
+    "PACKET_SWITCH_TOR",
+    "SwitchKind",
+    "SwitchSpec",
+    "circuit_vs_packet_energy_gain",
+    "Collective",
+    "CollectiveCost",
+    "all_gather_cost",
+    "all_reduce_cost",
+    "all_to_all_cost",
+    "broadcast_cost",
+    "reduce_scatter_cost",
+    "DirectConnectTopology",
+    "FlatCircuitTopology",
+    "SwitchedTopology",
+    "Topology",
+    "hop_count_matrix",
+    "path_between",
+    "Fabric",
+    "FabricReport",
+]

@@ -1,0 +1,188 @@
+"""Alpha-beta cost models for the collectives tensor parallelism uses.
+
+The paper's workload discussion (Sections 3-4): large models communicate
+"through highly efficient collectives to minimize the amount of data
+exchanged, e.g., through tensor parallelism".  The performance model charges
+each Megatron-style tensor-parallel layer two all-reduces; this module
+provides their cost.
+
+The classic alpha-beta model: sending ``S`` bytes over one hop costs
+``alpha + S / BW``.  For ring algorithms over ``p`` ranks each with injection
+bandwidth ``BW``:
+
+- **ring all-reduce**  : ``2 (p-1) alpha + 2 (p-1)/p * S / BW``
+- **ring all-gather**  : ``(p-1) alpha + (p-1)/p * S / BW``
+- **ring reduce-scatter**: same as all-gather
+- **tree all-reduce**  : ``2 ceil(log2 p) (alpha + S / BW)`` — latency-optimal
+  for small messages
+- **all-to-all**       : ``(p-1) alpha + (p-1)/p * S / BW`` (full bisection)
+
+``S`` is the *logical* tensor size (all-reduce input; all-gather output).
+The per-GPU wire traffic is also reported so fabric power/energy rollups can
+integrate it.  A key property the Lite-GPU study hinges on: the bandwidth
+term ``(p-1)/p * S / BW`` is nearly independent of ``p``, so quadrupling the
+GPU count while quartering per-GPU bandwidth roughly quadruples all-reduce
+time — the "Lite" series' network bottleneck in Figure 3a.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import SpecError
+from ..units import US
+
+
+class Collective(enum.Enum):
+    """Collective operations with cost models in this module."""
+
+    ALL_REDUCE = "all_reduce"
+    ALL_GATHER = "all_gather"
+    REDUCE_SCATTER = "reduce_scatter"
+    ALL_TO_ALL = "all_to_all"
+    BROADCAST = "broadcast"
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Result of a collective cost evaluation.
+
+    ``time``: completion time (s); ``wire_bytes_per_gpu``: bytes each rank
+    injects into the fabric; ``algorithm``: which schedule produced the time.
+    """
+
+    time: float
+    wire_bytes_per_gpu: float
+    algorithm: str
+
+    @property
+    def total_wire_bytes(self) -> float:
+        """Aggregate fabric traffic given the per-GPU injection — requires
+        the world size, so only meaningful via :func:`total_traffic`."""
+        return self.wire_bytes_per_gpu  # per-GPU view; see total_traffic()
+
+
+def _validate(size_bytes: float, world: int, bw_per_gpu: float, alpha: float) -> None:
+    if size_bytes < 0:
+        raise SpecError("collective size must be non-negative")
+    if world <= 0:
+        raise SpecError("world size must be positive")
+    if bw_per_gpu <= 0:
+        raise SpecError("per-GPU bandwidth must be positive")
+    if alpha < 0:
+        raise SpecError("alpha must be non-negative")
+
+
+def all_reduce_cost(
+    size_bytes: float,
+    world: int,
+    bw_per_gpu: float,
+    alpha: float = 1.0 * US,
+    algorithm: str = "auto",
+) -> CollectiveCost:
+    """All-reduce of a ``size_bytes`` tensor over ``world`` ranks.
+
+    ``algorithm``: "ring", "tree", or "auto" (best of both — what NCCL's
+    tuner effectively does: trees for small/latency-bound messages, rings
+    for large/bandwidth-bound ones).
+
+    >>> c = all_reduce_cost(1e6, 8, 450e9)
+    >>> c.algorithm
+    'ring'
+    """
+    _validate(size_bytes, world, bw_per_gpu, alpha)
+    if world == 1:
+        return CollectiveCost(0.0, 0.0, "local")
+    ring_time = 2 * (world - 1) * alpha + 2 * (world - 1) / world * size_bytes / bw_per_gpu
+    depth = math.ceil(math.log2(world))
+    tree_time = 2 * depth * (alpha + size_bytes / bw_per_gpu)
+    ring_wire = 2 * (world - 1) / world * size_bytes
+    tree_wire = 2 * size_bytes  # up and down the tree
+    if algorithm == "ring":
+        return CollectiveCost(ring_time, ring_wire, "ring")
+    if algorithm == "tree":
+        return CollectiveCost(tree_time, tree_wire, "tree")
+    if algorithm == "auto":
+        if ring_time <= tree_time:
+            return CollectiveCost(ring_time, ring_wire, "ring")
+        return CollectiveCost(tree_time, tree_wire, "tree")
+    raise SpecError(f"unknown all-reduce algorithm '{algorithm}'")
+
+
+def all_gather_cost(
+    size_bytes: float, world: int, bw_per_gpu: float, alpha: float = 1.0 * US
+) -> CollectiveCost:
+    """Ring all-gather; ``size_bytes`` is the *gathered* (output) size."""
+    _validate(size_bytes, world, bw_per_gpu, alpha)
+    if world == 1:
+        return CollectiveCost(0.0, 0.0, "local")
+    time = (world - 1) * alpha + (world - 1) / world * size_bytes / bw_per_gpu
+    wire = (world - 1) / world * size_bytes
+    return CollectiveCost(time, wire, "ring")
+
+
+def reduce_scatter_cost(
+    size_bytes: float, world: int, bw_per_gpu: float, alpha: float = 1.0 * US
+) -> CollectiveCost:
+    """Ring reduce-scatter; ``size_bytes`` is the *input* (full) size."""
+    _validate(size_bytes, world, bw_per_gpu, alpha)
+    if world == 1:
+        return CollectiveCost(0.0, 0.0, "local")
+    time = (world - 1) * alpha + (world - 1) / world * size_bytes / bw_per_gpu
+    wire = (world - 1) / world * size_bytes
+    return CollectiveCost(time, wire, "ring")
+
+
+def all_to_all_cost(
+    size_bytes: float, world: int, bw_per_gpu: float, alpha: float = 1.0 * US
+) -> CollectiveCost:
+    """All-to-all (each rank holds ``size_bytes``, sends (p-1)/p of it).
+
+    Assumes full-bisection fabric (true for the paper's flat optical
+    networks); expert-parallel MoE dispatch is the canonical user.
+    """
+    _validate(size_bytes, world, bw_per_gpu, alpha)
+    if world == 1:
+        return CollectiveCost(0.0, 0.0, "local")
+    time = (world - 1) * alpha + (world - 1) / world * size_bytes / bw_per_gpu
+    wire = (world - 1) / world * size_bytes
+    return CollectiveCost(time, wire, "direct")
+
+
+def broadcast_cost(
+    size_bytes: float, world: int, bw_per_gpu: float, alpha: float = 1.0 * US
+) -> CollectiveCost:
+    """Binomial-tree broadcast of ``size_bytes`` from one root."""
+    _validate(size_bytes, world, bw_per_gpu, alpha)
+    if world == 1:
+        return CollectiveCost(0.0, 0.0, "local")
+    depth = math.ceil(math.log2(world))
+    time = depth * (alpha + size_bytes / bw_per_gpu)
+    return CollectiveCost(time, size_bytes, "tree")
+
+
+def total_traffic(cost: CollectiveCost, world: int) -> float:
+    """Aggregate bytes injected into the fabric by all ranks."""
+    if world <= 0:
+        raise SpecError("world size must be positive")
+    return cost.wire_bytes_per_gpu * world
+
+
+def cost_for(
+    op: Collective,
+    size_bytes: float,
+    world: int,
+    bw_per_gpu: float,
+    alpha: float = 1.0 * US,
+) -> CollectiveCost:
+    """Dispatch by :class:`Collective` member."""
+    dispatch = {
+        Collective.ALL_REDUCE: all_reduce_cost,
+        Collective.ALL_GATHER: all_gather_cost,
+        Collective.REDUCE_SCATTER: reduce_scatter_cost,
+        Collective.ALL_TO_ALL: all_to_all_cost,
+        Collective.BROADCAST: broadcast_cost,
+    }
+    return dispatch[op](size_bytes, world, bw_per_gpu, alpha)

@@ -1,0 +1,120 @@
+"""Unit constants and conversion helpers used across the library.
+
+Everything internal is SI: seconds, bytes, FLOPs (floating point operations),
+watts, joules, metres, square millimetres for die areas (the one deliberate
+exception, because die areas are universally quoted in mm^2).
+
+The constants below exist so that model parameters can be written the way the
+paper (and vendor datasheets) quote them::
+
+    peak_flops = 2000 * TFLOPS          # 2000 TFLOPS, FP8 dense
+    mem_bw     = 3352 * GB_PER_S        # HBM3 bandwidth
+    capacity   = 80 * GB                # HBM capacity
+    ttft_slo   = 1.0                    # seconds
+    tbt_slo    = 50 * MS                # 50 ms
+
+Decimal (SI) prefixes are used for rates and capacities, matching vendor
+marketing numbers (1 GB = 1e9 bytes); binary prefixes are provided for the
+rare places that need them.
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+YEAR = 365.25 * DAY
+
+# --- data (decimal, as vendors quote) ---------------------------------------
+BYTE = 1
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+PB = 1e15
+
+# --- data (binary) -----------------------------------------------------------
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+TIB = 1024**4
+
+# --- rates -------------------------------------------------------------------
+GB_PER_S = 1e9
+TB_PER_S = 1e12
+GBIT_PER_S = 1e9 / 8.0  # bytes/s corresponding to 1 Gbit/s
+TBIT_PER_S = 1e12 / 8.0
+PBIT_PER_S = 1e15 / 8.0
+
+# --- compute -----------------------------------------------------------------
+GFLOPS = 1e9
+TFLOPS = 1e12
+PFLOPS = 1e15
+
+# --- power / energy ----------------------------------------------------------
+MILLIWATT = 1e-3
+WATT = 1.0
+KILOWATT = 1e3
+MEGAWATT = 1e6
+PJ = 1e-12  # picojoule, the natural unit for per-bit link energy
+NJ = 1e-9
+
+# --- geometry ----------------------------------------------------------------
+MM = 1e-3  # metre
+CM = 1e-2
+MM2_PER_CM2 = 100.0  # mm^2 in one cm^2
+
+
+def to_unit(value: float, unit: float) -> float:
+    """Convert an SI ``value`` into multiples of ``unit``.
+
+    >>> to_unit(2e12, TFLOPS)
+    2.0
+    """
+    return value / unit
+
+
+def from_unit(value: float, unit: float) -> float:
+    """Convert ``value`` expressed in ``unit`` into SI.
+
+    >>> from_unit(2.0, TFLOPS)
+    2000000000000.0
+    """
+    return value * unit
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable decimal byte count (``3.35e12 -> '3.35 TB'``)."""
+    for threshold, suffix in ((PB, "PB"), (TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(n) >= threshold:
+            return f"{n / threshold:.2f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Human-readable data rate (``4.5e11 -> '450.00 GB/s'``)."""
+    return fmt_bytes(bytes_per_s) + "/s"
+
+
+def fmt_flops(flops_per_s: float) -> str:
+    """Human-readable compute rate (``2e15 -> '2.00 PFLOPS'``)."""
+    for threshold, suffix in ((PFLOPS, "PFLOPS"), (TFLOPS, "TFLOPS"), (GFLOPS, "GFLOPS")):
+        if abs(flops_per_s) >= threshold:
+            return f"{flops_per_s / threshold:.2f} {suffix}"
+    return f"{flops_per_s:.0f} FLOP/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration (``0.0021 -> '2.10 ms'``)."""
+    if abs(seconds) >= 1.0:
+        return f"{seconds:.2f} s"
+    if abs(seconds) >= MS:
+        return f"{seconds / MS:.2f} ms"
+    if abs(seconds) >= US:
+        return f"{seconds / US:.2f} us"
+    return f"{seconds / NS:.2f} ns"

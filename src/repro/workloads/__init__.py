@@ -1,0 +1,49 @@
+"""Workload substrate: transformer model geometry and request generation.
+
+This package describes *what* runs on the cluster:
+
+- :mod:`repro.workloads.transformer` — the :class:`ModelSpec` dataclass with
+  exact parameter counting and KV-cache geometry for decoder-only
+  transformers (MHA / GQA / MQA, gated or plain MLPs).
+- :mod:`repro.workloads.models` — the catalogue of concrete models the paper
+  evaluates (Llama3-70B, GPT-3 175B, Llama3-405B) plus extras used by the
+  examples and extension studies.
+- :mod:`repro.workloads.traces` — synthetic request traces (Poisson arrivals,
+  prompt/output length distributions) standing in for production traces.
+- :mod:`repro.workloads.batching` — batch formation policies used by the
+  serving simulator.
+"""
+
+from .transformer import AttentionKind, MLPKind, ModelSpec
+from .models import (
+    GPT3_175B,
+    LLAMA3_8B,
+    LLAMA3_70B,
+    LLAMA3_405B,
+    MODELS,
+    PAPER_MODELS,
+    get_model,
+)
+from .traces import LengthDistribution, Request, TraceConfig, generate_trace
+from .batching import Batch, BatchPolicy, ContinuousBatcher, StaticBatcher
+
+__all__ = [
+    "AttentionKind",
+    "MLPKind",
+    "ModelSpec",
+    "GPT3_175B",
+    "LLAMA3_8B",
+    "LLAMA3_70B",
+    "LLAMA3_405B",
+    "MODELS",
+    "PAPER_MODELS",
+    "get_model",
+    "LengthDistribution",
+    "Request",
+    "TraceConfig",
+    "generate_trace",
+    "Batch",
+    "BatchPolicy",
+    "ContinuousBatcher",
+    "StaticBatcher",
+]

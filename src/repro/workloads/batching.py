@@ -1,0 +1,149 @@
+"""Batch formation policies for the serving simulator.
+
+The paper's case study sweeps *static* batch sizes; modern serving systems
+use *continuous* batching (new requests join a running decode batch every
+iteration).  Both are provided so the simulator can show the gap and so that
+scheduler experiments exercise realistic queues.
+
+A :class:`Batch` is a lightweight grouping of requests with helpers for the
+quantities the performance model needs (total prompt tokens, per-iteration
+active sequences, KV footprint).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import SpecError
+from .traces import Request
+
+
+@dataclass
+class Batch:
+    """A group of requests executed together in one phase."""
+
+    requests: List[Request] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def size(self) -> int:
+        """Number of sequences in the batch."""
+        return len(self.requests)
+
+    @property
+    def prompt_tokens(self) -> int:
+        """Total prompt tokens across the batch (prefill work)."""
+        return sum(r.prompt_tokens for r in self.requests)
+
+    @property
+    def max_prompt_tokens(self) -> int:
+        """Longest prompt in the batch (padding-sensitive schedulers)."""
+        return max((r.prompt_tokens for r in self.requests), default=0)
+
+    @property
+    def max_output_tokens(self) -> int:
+        """Longest generation in the batch (static-batch occupancy bound)."""
+        return max((r.output_tokens for r in self.requests), default=0)
+
+    def kv_tokens_at(self, decode_step: int) -> int:
+        """Total cached tokens after ``decode_step`` decode iterations.
+
+        Sequences stop contributing new tokens once they finish, but their
+        cache stays resident until the batch completes (static batching).
+        """
+        if decode_step < 0:
+            raise SpecError("decode_step must be non-negative")
+        return sum(
+            r.prompt_tokens + min(decode_step, r.output_tokens) for r in self.requests
+        )
+
+    def active_at(self, decode_step: int) -> int:
+        """Sequences still generating at ``decode_step`` (0-indexed)."""
+        return sum(1 for r in self.requests if r.output_tokens > decode_step)
+
+
+class BatchPolicy(abc.ABC):
+    """Interface: fold a queue of requests into executable batches."""
+
+    @abc.abstractmethod
+    def form(self, queue: Sequence[Request]) -> List[Batch]:
+        """Partition ``queue`` (arrival order) into batches."""
+
+
+class StaticBatcher(BatchPolicy):
+    """Fixed-size batches in arrival order — the paper's sweep semantics.
+
+    A batch runs prefill for all members, then decodes until every member
+    finishes.  ``max_batch`` bounds the sequence count; ``max_tokens`` (if
+    set) additionally bounds total prompt tokens per batch, which is how
+    chunked-prefill systems cap TTFT.
+    """
+
+    def __init__(self, max_batch: int, max_tokens: Optional[int] = None) -> None:
+        if max_batch <= 0:
+            raise SpecError("max_batch must be positive")
+        if max_tokens is not None and max_tokens <= 0:
+            raise SpecError("max_tokens must be positive when given")
+        self.max_batch = max_batch
+        self.max_tokens = max_tokens
+
+    def form(self, queue: Sequence[Request]) -> List[Batch]:
+        batches: List[Batch] = []
+        current = Batch()
+        tokens = 0
+        for request in queue:
+            over_count = current.size >= self.max_batch
+            over_tokens = (
+                self.max_tokens is not None
+                and current.size > 0
+                and tokens + request.prompt_tokens > self.max_tokens
+            )
+            if over_count or over_tokens:
+                batches.append(current)
+                current = Batch()
+                tokens = 0
+            current.requests.append(request)
+            tokens += request.prompt_tokens
+        if current.size:
+            batches.append(current)
+        return batches
+
+
+class ContinuousBatcher(BatchPolicy):
+    """Continuous (iteration-level) batching admission policy.
+
+    ``form`` groups whatever is admissible *right now* into a single batch;
+    the simulator calls it once per scheduling round with the current queue
+    and occupancy.  Admission is bounded by free sequence slots and a KV
+    token budget.
+    """
+
+    def __init__(self, max_batch: int, kv_token_budget: int) -> None:
+        if max_batch <= 0 or kv_token_budget <= 0:
+            raise SpecError("max_batch and kv_token_budget must be positive")
+        self.max_batch = max_batch
+        self.kv_token_budget = kv_token_budget
+
+    def admissible(
+        self, queue: Sequence[Request], occupied_slots: int, occupied_tokens: int
+    ) -> List[Request]:
+        """Requests from ``queue`` that fit the remaining slot/KV budget."""
+        admitted: List[Request] = []
+        slots = self.max_batch - occupied_slots
+        tokens = self.kv_token_budget - occupied_tokens
+        for request in queue:
+            need = request.total_tokens
+            if slots <= 0 or tokens < need:
+                break
+            admitted.append(request)
+            slots -= 1
+            tokens -= need
+        return admitted
+
+    def form(self, queue: Sequence[Request]) -> List[Batch]:
+        admitted = self.admissible(queue, occupied_slots=0, occupied_tokens=0)
+        return [Batch(list(admitted))] if admitted else []

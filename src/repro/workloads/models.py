@@ -1,0 +1,98 @@
+"""Catalogue of concrete LLMs evaluated by the paper (plus extras).
+
+Section 4 evaluates three models "with different sizes and structures":
+Llama3-70B, GPT-3 175B and Llama3-405B.  Their geometries below follow the
+published architecture descriptions (Llama 3 herd of models report; GPT-3
+paper Table 2.1).  The structural contrast that matters to the study:
+
+- Llama3 models use grouped-query attention with 8 KV heads -> tiny KV cache;
+- GPT-3 175B uses multi-head attention (96 KV heads) -> enormous KV cache,
+  which the paper calls out as the reason its decode phase degrades most on
+  plain Lite-GPUs (Figure 3b caption).
+
+Two extra models are provided for examples and extension studies: Llama3-8B
+(a single-GPU-class model, used to illustrate "small models distributed over
+multiple Lite-GPUs") and a Mixtral-8x7B-style MoE (future-work material).
+"""
+
+from __future__ import annotations
+
+from .._registry import Registry
+from .transformer import MLPKind, ModelSpec
+
+MODELS: Registry[ModelSpec] = Registry("model")
+
+
+def _register(spec: ModelSpec) -> ModelSpec:
+    return MODELS.register(spec.name, spec)
+
+
+#: Llama3-70B — GQA (64 query / 8 KV heads), SwiGLU MLP, 128k vocabulary.
+LLAMA3_70B = _register(
+    ModelSpec(
+        name="Llama3-70B",
+        layers=80,
+        hidden=8192,
+        heads=64,
+        kv_heads=8,
+        ffn_hidden=28672,
+        vocab=128256,
+        mlp_kind=MLPKind.GATED,
+    )
+)
+
+#: GPT-3 175B — classic MHA (96 query = 96 KV heads), plain 4h MLP.
+GPT3_175B = _register(
+    ModelSpec(
+        name="GPT3-175B",
+        layers=96,
+        hidden=12288,
+        heads=96,
+        kv_heads=96,
+        ffn_hidden=49152,
+        vocab=50257,
+        mlp_kind=MLPKind.PLAIN,
+        tie_embeddings=True,
+    )
+)
+
+#: Llama3-405B — GQA (128 query / 8 KV heads), SwiGLU MLP.
+LLAMA3_405B = _register(
+    ModelSpec(
+        name="Llama3-405B",
+        layers=126,
+        hidden=16384,
+        heads=128,
+        kv_heads=8,
+        ffn_hidden=53248,
+        vocab=128256,
+        mlp_kind=MLPKind.GATED,
+    )
+)
+
+#: Llama3-8B — fits on a fraction of one H100; used by the resource-granularity
+#: examples (a "small model previously served by a single GPU").
+LLAMA3_8B = _register(
+    ModelSpec(
+        name="Llama3-8B",
+        layers=32,
+        hidden=4096,
+        heads=32,
+        kv_heads=8,
+        ffn_hidden=14336,
+        vocab=128256,
+        mlp_kind=MLPKind.GATED,
+    )
+)
+
+#: The three models of the paper's Figure 3, in presentation order.
+PAPER_MODELS = (LLAMA3_70B, GPT3_175B, LLAMA3_405B)
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model by name (case / punctuation insensitive).
+
+    >>> get_model("llama3-70b").layers
+    80
+    """
+    return MODELS.get(name)

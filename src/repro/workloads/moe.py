@@ -1,0 +1,100 @@
+"""Mixture-of-Experts models: sparse MLPs with expert parallelism.
+
+The paper's related work highlights DeepSeek-style efficient serving on
+weaker hardware; MoE models are the canonical case.  They stress exactly
+the dimensions Lite-GPUs change: enormous *parameter* footprints (every
+expert is resident) with modest *active* compute per token, and all-to-all
+dispatch traffic instead of a second tensor-parallel all-reduce.
+
+:class:`MoEModelSpec` extends :class:`~repro.workloads.transformer.ModelSpec`
+with an expert count and a top-k routing width; the stage accounting in
+:mod:`repro.core.stages` detects it and switches the MLP stage to
+expert-parallel costing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SpecError
+from .models import MODELS
+from .transformer import MLPKind, ModelSpec
+
+
+@dataclass(frozen=True)
+class MoEModelSpec(ModelSpec):
+    """A decoder-only transformer with MoE MLP blocks.
+
+    ``n_experts`` experts per layer, ``experts_per_token`` activated per
+    token (top-k routing).  ``ffn_hidden`` is each *expert's* intermediate
+    width.
+    """
+
+    n_experts: int = 8
+    experts_per_token: int = 2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.n_experts <= 0:
+            raise SpecError(f"{self.name}: n_experts must be positive")
+        if not 0 < self.experts_per_token <= self.n_experts:
+            raise SpecError(f"{self.name}: experts_per_token must be in [1, n_experts]")
+
+    # --- parameter counting (overrides) ---------------------------------------
+
+    @property
+    def expert_params(self) -> int:
+        """Parameters of ONE expert MLP."""
+        matrices = 3 if self.mlp_kind is MLPKind.GATED else 2
+        return matrices * self.hidden * self.ffn_hidden
+
+    @property
+    def mlp_params_per_layer(self) -> int:
+        """All experts plus the router."""
+        router = self.hidden * self.n_experts
+        return self.n_experts * self.expert_params + router
+
+    @property
+    def active_mlp_params_per_layer(self) -> int:
+        """Expert parameters touched per token (top-k)."""
+        return self.experts_per_token * self.expert_params
+
+    @property
+    def active_param_count(self) -> int:
+        """Parameters activated per token — what sets per-token FLOPs."""
+        per_layer = self.attn_params_per_layer + self.active_mlp_params_per_layer
+        return self.layers * per_layer + self.embedding_params
+
+    @property
+    def sparsity(self) -> float:
+        """Total/active parameter ratio (the MoE 'discount')."""
+        return self.param_count / self.active_param_count
+
+    def experts_touched(self, tokens: float) -> float:
+        """Expected distinct experts activated by ``tokens`` routed tokens
+        (uniform routing; coupon-collector expectation)."""
+        if tokens < 0:
+            raise SpecError("tokens must be non-negative")
+        draws = tokens * self.experts_per_token
+        if draws == 0:
+            return 0.0
+        miss = (1.0 - 1.0 / self.n_experts) ** draws
+        return self.n_experts * (1.0 - miss)
+
+
+#: Mixtral-8x7B-class reference point: ~47B total, ~13B active per token.
+MIXTRAL_8X7B = MODELS.register(
+    "Mixtral-8x7B",
+    MoEModelSpec(
+        name="Mixtral-8x7B",
+        layers=32,
+        hidden=4096,
+        heads=32,
+        kv_heads=8,
+        ffn_hidden=14336,
+        vocab=32000,
+        mlp_kind=MLPKind.GATED,
+        n_experts=8,
+        experts_per_token=2,
+    ),
+)

@@ -1,0 +1,73 @@
+"""Figure-builder tests (shapes asserted in detail in test_paper_claims)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import (
+    FIG3A_GPUS,
+    FIG3B_GPUS,
+    fig1_evolution_series,
+    fig2_deployment_comparison,
+    fig3a_prefill_series,
+    fig3b_decode_series,
+)
+from repro.analysis.report import experiment_report
+from repro.errors import SpecError
+
+
+class TestFig1:
+    def test_rows_complete(self):
+        rows = fig1_evolution_series()
+        assert len(rows) >= 4
+        for row in rows:
+            assert {"name", "year", "dies", "transistors_b", "power_density"} <= set(row)
+
+
+class TestFig2:
+    def test_headline_numbers(self):
+        fig2 = fig2_deployment_comparison()
+        assert fig2["yield_gain"] == pytest.approx(1.75, abs=0.1)
+        assert fig2["cost_reduction"] == pytest.approx(0.5, abs=0.1)
+        assert fig2["shoreline_gain"] == pytest.approx(2.0)
+        assert fig2["bw_to_compute_potential"] == pytest.approx(2.0)
+        assert fig2["bw_to_compute_realized"] == pytest.approx(2.0, rel=0.01)
+
+    def test_power_density_preserved(self):
+        fig2 = fig2_deployment_comparison()
+        assert fig2["power_density_ratio"] == pytest.approx(1.0)
+
+    def test_split_validation(self):
+        with pytest.raises(SpecError):
+            fig2_deployment_comparison(split=0)
+
+
+class TestFig3Builders:
+    def test_panel_gpu_orders(self):
+        assert [g.name for g in FIG3A_GPUS] == [
+            "H100", "Lite", "Lite+NetBW", "Lite+NetBW+FLOPS",
+        ]
+        assert [g.name for g in FIG3B_GPUS] == [
+            "H100", "Lite", "Lite+MemBW", "Lite+MemBW+NetBW",
+        ]
+
+    def test_series_normalized_with_raw(self):
+        series = fig3a_prefill_series()
+        models = [k for k in series if k != "__raw__"]
+        assert models == ["Llama3-70B", "GPT3-175B", "Llama3-405B"]
+        for model in models:
+            assert series[model]["H100"] == pytest.approx(1.0)
+            raw = series["__raw__"][model]["H100"]
+            assert raw > 0
+
+    def test_decode_series_shape(self):
+        series = fig3b_decode_series()
+        for model in ("Llama3-70B", "GPT3-175B", "Llama3-405B"):
+            assert set(series[model]) == {"H100", "Lite", "Lite+MemBW", "Lite+MemBW+NetBW"}
+
+
+class TestReport:
+    def test_full_report_builds(self):
+        text = experiment_report()
+        for marker in ("Table 1", "Figure 1", "Figure 2", "Figure 3a", "Figure 3b", "Section 2", "Section 3"):
+            assert marker in text

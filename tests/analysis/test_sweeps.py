@@ -1,0 +1,44 @@
+"""Sweep-helper tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import argbest, sweep_1d, sweep_grid
+from repro.errors import SpecError
+
+
+class TestSweep1D:
+    def test_basic(self):
+        records = sweep_1d(lambda x: x * 2, [1, 2, 3], name="n")
+        assert records == [
+            {"n": 1, "result": 2},
+            {"n": 2, "result": 4},
+            {"n": 3, "result": 6},
+        ]
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecError):
+            sweep_1d(lambda x: x, [])
+
+
+class TestSweepGrid:
+    def test_cross_product(self):
+        records = sweep_grid(lambda x, y: x * y, [1, 2], [10, 20])
+        assert len(records) == 4
+        assert records[-1] == {"x": 2, "y": 20, "result": 40}
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecError):
+            sweep_grid(lambda x, y: 0, [], [1])
+
+
+class TestArgbest:
+    def test_max_and_min(self):
+        records = sweep_1d(lambda x: (x - 2) ** 2, [0, 1, 2, 3])
+        assert argbest(records, key=lambda r: r["result"], maximize=False)["x"] == 2
+        assert argbest(records, key=lambda r: r["result"], maximize=True)["x"] == 0
+
+    def test_empty(self):
+        with pytest.raises(SpecError):
+            argbest([], key=lambda r: 0)

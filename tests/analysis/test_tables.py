@@ -1,0 +1,69 @@
+"""Table rendering and Table 1 regeneration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table, render_fig3_panel, render_table1, table1_rows
+from repro.errors import SpecError
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["col", "x"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("col")
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(SpecError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers(self):
+        with pytest.raises(SpecError):
+            format_table([], [])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[112.5]])
+        assert "112.5" in text
+
+
+class TestTable1:
+    def test_rows_verbatim(self):
+        rows = table1_rows()
+        assert len(rows) == 6
+        assert rows[0] == {
+            "GPU type": "H100",
+            "TFLOPS": 2000,
+            "Cap. GB": 80,
+            "Mem BW GB/s": 3352,
+            "Net BW GB/s": 450.0,
+            "#Max GPUs": 8,
+        }
+        lite = rows[1]
+        assert lite["Net BW GB/s"] == 112.5
+
+    def test_render_contains_all_types(self):
+        text = render_table1()
+        for name in ("H100", "Lite+NetBW+FLOPS", "Lite+MemBW+NetBW"):
+            assert name in text
+        assert "112.5" in text
+
+
+class TestFig3Panel:
+    def test_render(self):
+        series = {
+            "Llama3-70B": {"H100": 1.0, "Lite": 0.9},
+            "__raw__": {"Llama3-70B": {"H100": 4.0, "Lite": 3.6}},
+        }
+        text = render_fig3_panel(series, "Figure 3a")
+        assert "Figure 3a" in text
+        assert "0.900" in text
+
+    def test_empty_series(self):
+        with pytest.raises(SpecError):
+            render_fig3_panel({"__raw__": {}}, "t")

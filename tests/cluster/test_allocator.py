@@ -1,0 +1,112 @@
+"""Allocator tests — the finer-granularity resource-management claim."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.allocator import (
+    AllocationRequest,
+    ResourceAllocator,
+    quantization_waste,
+)
+from repro.errors import AllocationError, SpecError
+from repro.hardware.gpu import H100, LITE
+
+
+class TestRequests:
+    def test_gpus_needed_rounds_up(self):
+        req = AllocationRequest("job", demand_sms=133.0)
+        assert req.gpus_needed(H100) == 2
+        assert req.gpus_needed(LITE) == 5
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            AllocationRequest("", 10.0)
+        with pytest.raises(SpecError):
+            AllocationRequest("job", 0.0)
+
+
+class TestAllocator:
+    def test_allocate_and_release_conserve_gpus(self):
+        alloc = ResourceAllocator(H100, 8)
+        a = alloc.allocate(AllocationRequest("a", 200.0))
+        assert alloc.free_gpus == 6
+        assert len(a.gpu_indices) == 2
+        alloc.release("a")
+        assert alloc.free_gpus == 8
+
+    def test_double_allocate_rejected(self):
+        alloc = ResourceAllocator(H100, 8)
+        alloc.allocate(AllocationRequest("a", 100.0))
+        with pytest.raises(AllocationError):
+            alloc.allocate(AllocationRequest("a", 100.0))
+
+    def test_insufficient_capacity(self):
+        alloc = ResourceAllocator(H100, 2)
+        with pytest.raises(AllocationError):
+            alloc.allocate(AllocationRequest("big", 1000.0))
+
+    def test_release_unknown(self):
+        with pytest.raises(AllocationError):
+            ResourceAllocator(H100, 2).release("ghost")
+
+    def test_utilization_and_waste(self):
+        alloc = ResourceAllocator(H100, 8)
+        alloc.allocate(AllocationRequest("a", 66.0))  # wastes half a GPU
+        assert alloc.utilization == pytest.approx(1 / 8)
+        assert alloc.quantization_waste_fraction() == pytest.approx(0.5)
+
+    def test_get(self):
+        alloc = ResourceAllocator(H100, 8)
+        alloc.allocate(AllocationRequest("a", 66.0))
+        assert alloc.get("a") is not None
+        assert alloc.get("b") is None
+
+
+class TestFailureHandling:
+    def test_fail_free_gpu_removes_it(self):
+        alloc = ResourceAllocator(H100, 4)
+        assert alloc.fail_gpu(3) is None
+        assert alloc.free_gpus == 3
+
+    def test_fail_allocated_gpu_degrades_job(self):
+        alloc = ResourceAllocator(H100, 4)
+        allocation = alloc.allocate(AllocationRequest("a", 264.0))
+        victim = allocation.gpu_indices[0]
+        assert alloc.fail_gpu(victim) == "a"
+        assert len(alloc.get("a").gpu_indices) == 1
+
+    def test_fail_out_of_range(self):
+        with pytest.raises(SpecError):
+            ResourceAllocator(H100, 4).fail_gpu(9)
+
+
+class TestGranularityClaim:
+    def test_lite_strands_less_capacity(self):
+        """Core Section 3 claim: smaller allocation units waste less."""
+        rng = np.random.default_rng(42)
+        demands = list(rng.uniform(1.0, 132.0, size=500))
+        h100_waste = quantization_waste(demands, H100)
+        lite_waste = quantization_waste(demands, LITE)
+        assert lite_waste < h100_waste / 2
+
+    def test_exact_fit_wastes_nothing(self):
+        assert quantization_waste([132.0, 264.0], H100) == pytest.approx(0.0)
+
+    def test_empty_demands(self):
+        assert quantization_waste([], H100) == 0.0
+
+    def test_invalid_demand(self):
+        with pytest.raises(SpecError):
+            quantization_waste([0.0], H100)
+
+    @given(
+        demands=st.lists(st.floats(1.0, 500.0), min_size=1, max_size=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lite_never_wastes_more(self, demands):
+        """Unit size 33 divides 132, so Lite rounding never exceeds H100's."""
+        assert quantization_waste(demands, LITE) <= quantization_waste(demands, H100) + 1e-12

@@ -1,0 +1,110 @@
+"""Monte-Carlo availability tests — the hot-spare argument."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.availability import (
+    SparePolicy,
+    simulate_availability,
+    spares_for_target,
+)
+from repro.cluster.failures import FailureModel, scaled_lite_failure_model
+from repro.errors import SpecError
+from repro.units import DAY, HOUR
+
+
+FAST_FAILING = FailureModel(mtbf=200 * HOUR, mttr=24 * HOUR)
+
+
+class TestSimulation:
+    def test_deterministic_given_seed(self):
+        a = simulate_availability(2, 4, FAST_FAILING, seed=7, horizon=30 * DAY)
+        b = simulate_availability(2, 4, FAST_FAILING, seed=7, horizon=30 * DAY)
+        assert a == b
+
+    def test_availability_in_unit_interval(self):
+        result = simulate_availability(2, 4, FAST_FAILING, seed=1, horizon=30 * DAY)
+        assert 0.0 <= result.instance_availability <= 1.0
+
+    def test_no_failures_perfect_availability(self):
+        reliable = FailureModel(mtbf=1e9 * HOUR)
+        result = simulate_availability(2, 4, reliable, seed=1, horizon=30 * DAY)
+        assert result.instance_availability == 1.0
+        assert result.failures == 0
+
+    def test_spares_improve_availability(self):
+        without = simulate_availability(
+            4, 8, FAST_FAILING, SparePolicy(spares=0), horizon=60 * DAY, seed=3
+        )
+        with_spares = simulate_availability(
+            4, 8, FAST_FAILING, SparePolicy(spares=4), horizon=60 * DAY, seed=3
+        )
+        assert with_spares.instance_availability > without.instance_availability
+
+    def test_swap_time_bounds_outage_with_spares(self):
+        """With a spare always free, outages last ~swap_time, not MTTR."""
+        result = simulate_availability(
+            2, 4, FAST_FAILING, SparePolicy(spares=8, swap_time=120.0),
+            horizon=60 * DAY, seed=5,
+        )
+        assert result.failures > 0
+        assert result.mean_outage < 10 * 120.0  # far below the 24h MTTR
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            simulate_availability(0, 4, FAST_FAILING)
+        with pytest.raises(SpecError):
+            simulate_availability(2, 4, FAST_FAILING, horizon=-1.0)
+        with pytest.raises(SpecError):
+            SparePolicy(spares=-1)
+
+    def test_describe(self):
+        result = simulate_availability(2, 4, FAST_FAILING, seed=1, horizon=10 * DAY)
+        assert "availability" in result.describe()
+
+
+class TestSpareOverheadClaim:
+    """Section 3: spares are proportionally cheaper for Lite fleets."""
+
+    def test_spare_policy_overhead(self):
+        assert SparePolicy(spares=2).overhead(serving_gpus=8) == 0.25
+        assert SparePolicy(spares=2).overhead(serving_gpus=32) == 0.0625
+
+    def test_one_lite_spare_is_quarter_the_silicon(self):
+        """One spare unit of capacity costs 4x less silicon for Lite:
+        equal spare *counts* mean 4x lower overhead fraction."""
+        h100_overhead = SparePolicy(spares=1).overhead(8)
+        lite_overhead = SparePolicy(spares=1).overhead(32)
+        assert h100_overhead == 4 * lite_overhead
+
+    def test_spares_for_target_monotone(self):
+        spares = spares_for_target(
+            2, 8, FAST_FAILING, target_availability=0.99,
+            horizon=60 * DAY, seed=2, max_spares=8,
+        )
+        assert spares is not None
+        # The found count achieves the target...
+        result = simulate_availability(
+            2, 8, FAST_FAILING, SparePolicy(spares=spares), horizon=60 * DAY, seed=2
+        )
+        assert result.instance_availability >= 0.99
+
+    def test_spares_for_target_validation(self):
+        with pytest.raises(SpecError):
+            spares_for_target(2, 8, FAST_FAILING, target_availability=1.5)
+
+    def test_lite_fleet_with_scaled_reliability_needs_few_spares(self):
+        """Area-scaled Lite GPUs fail 4x less often, so a Lite fleet
+        matches the H100 fleet's availability with the same *silicon*
+        spent on spares (8 Lite spares = 2 H100 spares) — and each Lite
+        spare is 4x cheaper, which is the paper's overhead argument."""
+        lite_model = scaled_lite_failure_model(FAST_FAILING, 4)
+        lite = simulate_availability(
+            4, 32, lite_model, SparePolicy(spares=8), horizon=60 * DAY, seed=4
+        )
+        h100 = simulate_availability(
+            4, 8, FAST_FAILING, SparePolicy(spares=2), horizon=60 * DAY, seed=4
+        )
+        assert lite.instance_availability > 0.98
+        assert lite.instance_availability >= h100.instance_availability - 0.02

@@ -1,0 +1,78 @@
+"""Data-center planning tests — Section 3's last opportunity area."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.datacenter import (
+    RackSpec,
+    floor_plan,
+    lite_vs_h100_floor,
+    plan_racks,
+    reach_check,
+)
+from repro.errors import SpecError
+from repro.hardware.cooling import CoolingKind
+from repro.hardware.gpu import H100, LITE
+from repro.network.links import COPPER_NVLINK, CPO_OPTICS
+
+
+class TestRackPlanning:
+    def test_h100_rack_is_power_limited(self):
+        plan = plan_racks(H100, 128)
+        # 40 kW air budget / 0.7 kW -> 57 air slots, but cooling model says
+        # H100 packages cannot air-cool -> liquid rack at higher budget.
+        assert plan.cooling is CoolingKind.LIQUID_COLD_PLATE
+
+    def test_lite_rack_air_cooled(self):
+        plan = plan_racks(LITE, 512)
+        assert plan.cooling is CoolingKind.AIR
+        # Smaller packages pack denser than H100 slots, capped by the 40 kW
+        # air budget (228 x 175 W).
+        assert 64 < plan.gpus_per_rack <= 256
+
+    def test_rack_counts_cover_gpus(self):
+        plan = plan_racks(LITE, 130)
+        assert plan.n_racks * plan.gpus_per_rack >= 130
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            plan_racks(H100, 0)
+        with pytest.raises(SpecError):
+            RackSpec(max_power_kw=0)
+
+
+class TestFloorPlan:
+    def test_aggregation(self):
+        plans = [plan_racks(H100, 64), plan_racks(LITE, 256)]
+        summary = floor_plan(plans)
+        assert summary["gpus"] == 320
+        assert summary["racks"] == plans[0].n_racks + plans[1].n_racks
+        assert 0.0 <= summary["liquid_fraction"] <= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecError):
+            floor_plan([])
+
+
+class TestPaperClaims:
+    def test_devices_up_energy_density_down(self):
+        """'the number of devices per area is increased, however, the
+        energy per unit area is decreased'."""
+        comparison = lite_vs_h100_floor(64, H100, LITE)
+        assert comparison["devices_per_m2_ratio"] > 1.0
+        assert comparison["power_density_ratio"] < 1.0
+
+    def test_liquid_racks_eliminated(self):
+        comparison = lite_vs_h100_floor(64, H100, LITE)
+        assert comparison["liquid_eliminated"]
+
+    def test_reach_enables_flat_lite_clusters(self):
+        """Copper covers a rack; CPO covers the whole Lite floor."""
+        lite_plan = plan_racks(LITE, 2048)
+        assert not reach_check(lite_plan, COPPER_NVLINK)
+        assert reach_check(lite_plan, CPO_OPTICS)
+
+    def test_small_deployment_within_copper(self):
+        tiny = plan_racks(LITE, 4)
+        assert reach_check(tiny, COPPER_NVLINK)

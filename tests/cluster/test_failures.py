@@ -1,0 +1,133 @@
+"""Failure-model tests — blast radius and instance reliability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.failures import (
+    BlastRadius,
+    FailureModel,
+    InstanceReliability,
+    fleet_available_capacity,
+    scaled_lite_failure_model,
+)
+from repro.errors import SpecError
+from repro.units import HOUR
+
+
+class TestFailureModel:
+    def test_availability_formula(self):
+        model = FailureModel(mtbf=99 * HOUR, mttr=1 * HOUR)
+        assert model.gpu_availability == pytest.approx(0.99)
+
+    def test_failure_rate(self):
+        model = FailureModel(mtbf=100.0)
+        assert model.failure_rate == pytest.approx(0.01)
+
+    def test_sample_lifetimes_mean(self):
+        model = FailureModel(mtbf=1000.0)
+        rng = np.random.default_rng(0)
+        samples = model.sample_lifetimes(20000, rng)
+        assert samples.mean() == pytest.approx(1000.0, rel=0.05)
+
+    def test_weibull_shape_changes_distribution(self):
+        rng = np.random.default_rng(0)
+        exp = FailureModel(mtbf=1000.0, weibull_shape=1.0).sample_lifetimes(10000, rng)
+        rng = np.random.default_rng(0)
+        wearout = FailureModel(mtbf=1000.0, weibull_shape=3.0).sample_lifetimes(10000, rng)
+        # Same mean, very different spread.
+        assert wearout.std() < exp.std()
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            FailureModel(mtbf=0.0)
+        with pytest.raises(SpecError):
+            FailureModel(weibull_shape=0.0)
+
+
+class TestBlastRadius:
+    def test_sms_per_failure(self):
+        assert BlastRadius(gpus_per_failure=1, sms_per_gpu=33).sms_per_failure == 33
+        assert BlastRadius(gpus_per_failure=1, sms_per_gpu=132).sms_per_failure == 132
+
+    def test_lite_blast_radius_quarter_of_h100(self):
+        """Section 3: reducing GPU size reduces the hardware blast radius."""
+        h100 = BlastRadius(1, 132)
+        lite = BlastRadius(1, 33)
+        assert lite.sms_per_failure * 4 == h100.sms_per_failure
+
+    def test_capacity_fraction(self):
+        assert BlastRadius(1, 132).capacity_fraction(8) == pytest.approx(1 / 8)
+        assert BlastRadius(1, 33).capacity_fraction(32) == pytest.approx(1 / 32)
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            BlastRadius(0, 33)
+        with pytest.raises(SpecError):
+            BlastRadius(1, 33).capacity_fraction(0)
+
+
+class TestInstanceReliability:
+    def test_series_mtbf(self):
+        model = FailureModel(mtbf=800 * HOUR)
+        inst = InstanceReliability(8, model)
+        assert inst.instance_mtbf == pytest.approx(100 * HOUR)
+
+    def test_bigger_instances_fail_more(self):
+        model = FailureModel()
+        small = InstanceReliability(8, model)
+        big = InstanceReliability(32, model)
+        assert big.instance_availability < small.instance_availability
+
+    def test_expected_failures_linear_in_horizon(self):
+        inst = InstanceReliability(8, FailureModel(mtbf=100.0))
+        assert inst.expected_failures(200.0) == pytest.approx(2 * inst.expected_failures(100.0))
+
+
+class TestLiteScaling:
+    def test_area_scaled_mtbf(self):
+        parent = FailureModel(mtbf=1000.0)
+        lite = scaled_lite_failure_model(parent, 4)
+        assert lite.mtbf == 4000.0
+
+    def test_equal_silicon_reliability_balances_fleets(self):
+        """With area-scaled failure rates, a 4x-larger fleet of 4x-more-
+        reliable GPUs has the same instance availability: the Lite fleet
+        does not lose on availability even before hot spares."""
+        parent = FailureModel()
+        lite = scaled_lite_failure_model(parent, 4)
+        h100_fleet = fleet_available_capacity(8, 8, parent)
+        lite_fleet = fleet_available_capacity(32, 32, lite)
+        # Equal to first order (exact only in the exp(-k*MTTR/MTBF) limit).
+        assert lite_fleet == pytest.approx(h100_fleet, rel=1e-4)
+
+    def test_unscaled_lite_fleet_worse(self):
+        """If Lite GPUs kept the parent's per-device failure rate, the
+        bigger instance would fail more — the paper's caveat about
+        'different failure frequencies and profiles'."""
+        parent = FailureModel()
+        h100_fleet = fleet_available_capacity(8, 8, parent)
+        naive_lite = fleet_available_capacity(32, 32, parent)
+        assert naive_lite < h100_fleet
+
+
+class TestProperties:
+    @given(k=st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_availability_decreasing_in_k(self, k):
+        model = FailureModel()
+        a_k = InstanceReliability(k, model).instance_availability
+        a_k1 = InstanceReliability(k + 1, model).instance_availability
+        assert a_k1 < a_k
+
+    @given(
+        mtbf_h=st.floats(100.0, 10000.0),
+        mttr_h=st.floats(0.5, 100.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_availability_bounded(self, mtbf_h, mttr_h):
+        model = FailureModel(mtbf=mtbf_h * HOUR, mttr=mttr_h * HOUR)
+        assert 0.0 < model.gpu_availability < 1.0

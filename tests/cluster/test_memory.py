@@ -1,0 +1,124 @@
+"""Memory-system tests — disaggregated pools and KV placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.memory import (
+    DisaggregatedPool,
+    KVPlacementPolicy,
+    MemorySystem,
+    pool_batch_gain,
+)
+from repro.errors import SpecError
+from repro.hardware.gpu import LITE
+from repro.units import GB
+
+
+class TestPool:
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            DisaggregatedPool(capacity=0)
+        with pytest.raises(SpecError):
+            DisaggregatedPool(latency=-1.0)
+
+
+class TestMemorySystem:
+    def test_total_capacity(self):
+        system = MemorySystem(LITE, pool=DisaggregatedPool(), pool_share=40 * GB)
+        assert system.total_capacity == LITE.mem_capacity + 40 * GB
+
+    def test_pool_share_requires_pool(self):
+        with pytest.raises(SpecError):
+            MemorySystem(LITE, pool=None, pool_share=1 * GB)
+
+    def test_max_kv_bytes_grows_with_pool(self):
+        local = MemorySystem(LITE)
+        pooled = MemorySystem(LITE, pool=DisaggregatedPool(), pool_share=40 * GB)
+        weights = 10 * GB
+        assert pooled.max_kv_bytes(weights) == pytest.approx(
+            local.max_kv_bytes(weights) + 40 * GB
+        )
+
+    def test_max_kv_zero_when_weights_exceed_hbm(self):
+        system = MemorySystem(LITE)
+        assert system.max_kv_bytes(25 * GB) == 0.0
+
+
+class TestPlacement:
+    WEIGHTS = 10 * GB
+
+    def test_local_only_within_hbm(self):
+        system = MemorySystem(LITE)
+        local, pooled = system.placement_split(5 * GB, self.WEIGHTS, KVPlacementPolicy.LOCAL_ONLY)
+        assert (local, pooled) == (5 * GB, 0.0)
+
+    def test_local_only_overflow_rejected(self):
+        system = MemorySystem(LITE)
+        with pytest.raises(SpecError):
+            system.placement_split(15 * GB, self.WEIGHTS, KVPlacementPolicy.LOCAL_ONLY)
+
+    def test_spill_splits_at_hbm_boundary(self):
+        system = MemorySystem(LITE, pool=DisaggregatedPool(), pool_share=40 * GB)
+        local, pooled = system.placement_split(
+            20 * GB, self.WEIGHTS, KVPlacementPolicy.SPILL_TO_POOL
+        )
+        assert local == pytest.approx(LITE.mem_capacity * 0.95 - self.WEIGHTS)
+        assert pooled == pytest.approx(20 * GB - local)
+
+    def test_pool_only(self):
+        system = MemorySystem(LITE, pool=DisaggregatedPool(), pool_share=40 * GB)
+        local, pooled = system.placement_split(30 * GB, self.WEIGHTS, KVPlacementPolicy.POOL_ONLY)
+        assert local == 0.0 and pooled == 30 * GB
+
+    def test_pool_overflow_rejected(self):
+        system = MemorySystem(LITE, pool=DisaggregatedPool(), pool_share=5 * GB)
+        with pytest.raises(SpecError):
+            system.placement_split(20 * GB, self.WEIGHTS, KVPlacementPolicy.SPILL_TO_POOL)
+
+
+class TestBandwidth:
+    WEIGHTS = 10 * GB
+
+    def test_all_local_full_bandwidth(self):
+        system = MemorySystem(LITE, pool=DisaggregatedPool(), pool_share=40 * GB)
+        bw = system.effective_kv_bandwidth(5 * GB, self.WEIGHTS, KVPlacementPolicy.SPILL_TO_POOL)
+        assert bw == pytest.approx(LITE.mem_bandwidth)
+
+    def test_spill_lowers_bandwidth(self):
+        system = MemorySystem(LITE, pool=DisaggregatedPool(), pool_share=40 * GB)
+        bw = system.effective_kv_bandwidth(20 * GB, self.WEIGHTS, KVPlacementPolicy.SPILL_TO_POOL)
+        assert bw < LITE.mem_bandwidth
+
+    def test_slowdown_at_least_one(self):
+        system = MemorySystem(LITE, pool=DisaggregatedPool(), pool_share=40 * GB)
+        for kv in (1 * GB, 10 * GB, 30 * GB):
+            slowdown = system.decode_slowdown(kv, self.WEIGHTS, KVPlacementPolicy.SPILL_TO_POOL)
+            assert slowdown >= 1.0
+
+    def test_slowdown_grows_with_spill(self):
+        system = MemorySystem(LITE, pool=DisaggregatedPool(), pool_share=40 * GB)
+        small = system.decode_slowdown(12 * GB, self.WEIGHTS, KVPlacementPolicy.SPILL_TO_POOL)
+        large = system.decode_slowdown(30 * GB, self.WEIGHTS, KVPlacementPolicy.SPILL_TO_POOL)
+        assert large > small
+
+    def test_zero_kv_full_bandwidth(self):
+        system = MemorySystem(LITE)
+        assert system.effective_kv_bandwidth(0.0, self.WEIGHTS, KVPlacementPolicy.LOCAL_ONLY) == LITE.mem_bandwidth
+
+
+class TestPoolBatchGain:
+    def test_pool_grows_batch_with_bounded_slowdown(self):
+        """The compute-to-memory flexibility claim, quantified."""
+        gain = pool_batch_gain(
+            LITE,
+            weight_bytes=10 * GB,
+            kv_bytes_per_seq=50e6,
+            pool_share=40 * GB,
+        )
+        assert gain["pooled_batch"] > 4 * gain["local_batch"]
+        assert gain["slowdown"] >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            pool_batch_gain(LITE, 1 * GB, 0.0, 1 * GB)

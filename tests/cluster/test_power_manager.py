@@ -1,0 +1,94 @@
+"""Cluster power-management tests — Section 3's down/up-clock arguments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.power_manager import ClusterPowerManager, PeakStrategy, granularity_gain
+from repro.errors import SpecError
+from repro.hardware.cooling import CoolingModel
+from repro.hardware.gpu import H100, LITE
+from repro.hardware.power import ClockPolicy, diurnal_load_profile
+
+
+class TestPolicies:
+    def test_savings_reported_for_all_policies(self):
+        mgr = ClusterPowerManager(LITE, 32)
+        loads = diurnal_load_profile()
+        savings = mgr.policy_savings(loads, 900.0)
+        assert set(savings) == {"uniform", "gate", "gate+dvfs"}
+        assert all(0.0 <= s < 1.0 for s in savings.values())
+
+    def test_gating_beats_uniform_dvfs_on_diurnal_load(self):
+        mgr = ClusterPowerManager(LITE, 32)
+        loads = diurnal_load_profile(low=0.15, high=0.7)
+        savings = mgr.policy_savings(loads, 900.0)
+        assert savings["gate+dvfs"] >= savings["uniform"]
+
+    def test_energy_over_profile_positive(self):
+        mgr = ClusterPowerManager(LITE, 8)
+        loads = np.array([0.5, 0.6])
+        assert mgr.energy_over_profile(loads, 60.0, ClockPolicy.ALWAYS_BASE) > 0
+
+
+class TestPeakServing:
+    def test_lite_can_overclock_through_peak(self):
+        """Small dies have cooling headroom: 10-20% peaks absorbed in place."""
+        mgr = ClusterPowerManager(LITE, 32)
+        power = mgr.overclock_power(1.15)
+        assert power > mgr._power_model().peak_power
+
+    def test_h100_cannot_overclock_on_air(self):
+        mgr = ClusterPowerManager(H100, 8)
+        with pytest.raises(SpecError, match="cooling"):
+            mgr.overclock_power(1.15, CoolingModel())
+
+    def test_more_gpus_power_counts_network(self):
+        mgr = ClusterPowerManager(LITE, 32, net_power_per_gpu=30.0)
+        power, extra = mgr.more_gpus_power(1.25)
+        assert extra == 8
+        assert power == pytest.approx(40 * LITE.tdp + 8 * 30.0)
+
+    def test_best_strategy_picks_cheaper(self):
+        mgr = ClusterPowerManager(LITE, 32)
+        strategy, power = mgr.best_peak_strategy(1.1)
+        oc = mgr.overclock_power(1.1)
+        more, _ = mgr.more_gpus_power(1.1)
+        assert power == pytest.approx(min(oc, more))
+        assert strategy in (PeakStrategy.OVERCLOCK, PeakStrategy.MORE_GPUS)
+
+    def test_h100_falls_back_to_more_gpus(self):
+        mgr = ClusterPowerManager(H100, 8)
+        strategy, _ = mgr.best_peak_strategy(1.2, CoolingModel())
+        assert strategy is PeakStrategy.MORE_GPUS
+
+    def test_small_peaks_favor_overclocking(self):
+        """Just above 1.0, activating a whole extra GPU is wasteful; a tiny
+        overclock wins."""
+        mgr = ClusterPowerManager(LITE, 4)
+        strategy, _ = mgr.best_peak_strategy(1.05)
+        assert strategy is PeakStrategy.OVERCLOCK
+
+    def test_validation(self):
+        mgr = ClusterPowerManager(LITE, 4)
+        with pytest.raises(SpecError):
+            mgr.overclock_power(0.0)
+        with pytest.raises(SpecError):
+            ClusterPowerManager(LITE, 0)
+
+
+class TestGranularityGain:
+    def test_lite_granularity_saves_energy(self):
+        """Section 3: per-Lite-GPU gating beats whole-H100 gating."""
+        loads = diurnal_load_profile(low=0.2, high=0.85)
+        gain = granularity_gain(H100, LITE, loads, 900.0, big_count=8)
+        assert gain > 0.0
+
+    def test_gain_shrinks_for_large_fleets(self):
+        """Quantization error amortizes: 64 H100s are already fine-grained
+        relative to demand, so the Lite edge narrows."""
+        loads = diurnal_load_profile(low=0.2, high=0.85)
+        small_fleet = granularity_gain(H100, LITE, loads, 900.0, big_count=2)
+        large_fleet = granularity_gain(H100, LITE, loads, 900.0, big_count=64)
+        assert small_fleet > large_fleet

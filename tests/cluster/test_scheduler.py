@@ -1,0 +1,92 @@
+"""Phase-split scheduler tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.scheduler import InstanceSpec, PhasePools, PhaseSplitScheduler
+from repro.errors import SpecError
+from repro.hardware.gpu import H100, LITE, LITE_MEMBW, LITE_NETBW_FLOPS
+from repro.workloads.models import LLAMA3_8B, LLAMA3_70B, LLAMA3_405B
+
+
+def small_pools(**overrides) -> PhasePools:
+    base = dict(
+        prefill=InstanceSpec(LLAMA3_70B, H100, 2),
+        n_prefill=2,
+        decode=InstanceSpec(LLAMA3_70B, H100, 2),
+        n_decode=2,
+        max_prefill_batch=4,
+        max_decode_batch=64,
+    )
+    base.update(overrides)
+    return PhasePools(**base)
+
+
+class TestInstanceSpec:
+    def test_rejects_models_that_do_not_fit(self):
+        with pytest.raises(SpecError):
+            InstanceSpec(LLAMA3_405B, H100, 2)
+
+    def test_performance_envelope(self):
+        inst = InstanceSpec(LLAMA3_70B, H100, 2)
+        assert inst.prefill_time(4, 1500) > inst.prefill_time(1, 1500)
+        assert inst.decode_time(64, 1750) > inst.decode_time(1, 1750)
+        assert inst.kv_token_capacity() > 0
+
+    def test_phase_specialized_gpus(self):
+        """Splitwise-style: prefill on +FLOPS, decode on +MemBW."""
+        prefill = InstanceSpec(LLAMA3_8B, LITE_NETBW_FLOPS, 2)
+        decode = InstanceSpec(LLAMA3_8B, LITE_MEMBW, 2)
+        generic = InstanceSpec(LLAMA3_8B, LITE, 2)
+        assert prefill.prefill_time(4, 1500) < generic.prefill_time(4, 1500)
+        assert decode.decode_time(32, 1750) < generic.decode_time(32, 1750)
+
+
+class TestPhasePools:
+    def test_totals(self):
+        pools = small_pools()
+        assert pools.total_gpus == 8
+        assert pools.total_sms == 8 * 132
+
+    def test_same_model_enforced(self):
+        with pytest.raises(SpecError):
+            small_pools(decode=InstanceSpec(LLAMA3_8B, H100, 1))
+
+    def test_describe(self):
+        assert "prefill" in small_pools().describe()
+
+
+class TestScheduler:
+    def test_prefill_batching_bounded(self):
+        scheduler = PhaseSplitScheduler(small_pools())
+        assert scheduler.form_prefill_batch(10) == 4
+        assert scheduler.form_prefill_batch(2) == 2
+        assert scheduler.form_prefill_batch(0) == 0
+
+    def test_decode_admission_slots(self):
+        scheduler = PhaseSplitScheduler(small_pools(max_decode_batch=3))
+        admitted = scheduler.decode_admission([2000] * 8, occupied_slots=1, occupied_tokens=0)
+        assert admitted == 2
+
+    def test_decode_admission_kv_budget(self):
+        scheduler = PhaseSplitScheduler(small_pools())
+        capacity = scheduler.decode_kv_capacity
+        admitted = scheduler.decode_admission(
+            [capacity // 2, capacity // 2, capacity // 2], 0, 0
+        )
+        assert admitted == 2
+
+    def test_admission_stops_at_first_misfit(self):
+        """FIFO: a huge head-of-line request blocks (no reordering)."""
+        scheduler = PhaseSplitScheduler(small_pools())
+        capacity = scheduler.decode_kv_capacity
+        admitted = scheduler.decode_admission([capacity + 1, 10], 0, 0)
+        assert admitted == 0
+
+    def test_validation(self):
+        scheduler = PhaseSplitScheduler(small_pools())
+        with pytest.raises(SpecError):
+            scheduler.form_prefill_batch(-1)
+        with pytest.raises(SpecError):
+            scheduler.decode_admission([10], -1, 0)

@@ -1,0 +1,144 @@
+"""Discrete-event serving-simulator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.scheduler import InstanceSpec, PhasePools
+from repro.cluster.simulator import ServingSimulator, SimConfig
+from repro.errors import SpecError
+from repro.hardware.gpu import H100, LITE, LITE_MEMBW, LITE_NETBW_FLOPS
+from repro.workloads.models import LLAMA3_8B, LLAMA3_70B
+from repro.workloads.traces import Request, TraceConfig, generate_trace
+
+
+def pools(n_prefill=1, n_decode=1, **kw) -> PhasePools:
+    base = dict(
+        prefill=InstanceSpec(LLAMA3_8B, H100, 1),
+        n_prefill=n_prefill,
+        decode=InstanceSpec(LLAMA3_8B, H100, 1),
+        n_decode=n_decode,
+        max_prefill_batch=4,
+        max_decode_batch=64,
+    )
+    base.update(kw)
+    return PhasePools(**base)
+
+
+def trace(rate=5.0, duration=10.0, seed=0, output_tokens=50):
+    return generate_trace(
+        TraceConfig(rate=rate, duration=duration, output_tokens=output_tokens, output_spread=0.3),
+        seed=seed,
+    )
+
+
+class TestBasics:
+    def test_all_requests_complete_under_light_load(self):
+        t = trace(rate=2.0, duration=10.0)
+        report = ServingSimulator(pools(), SimConfig(max_sim_time=600.0)).run(t)
+        assert report.completed == len(t)
+        assert report.dropped == 0
+
+    def test_deterministic(self):
+        t = trace(seed=3)
+        a = ServingSimulator(pools(), SimConfig(max_sim_time=300.0)).run(t)
+        b = ServingSimulator(pools(), SimConfig(max_sim_time=300.0)).run(t)
+        assert a == b
+
+    def test_latency_ordering(self):
+        t = trace(rate=2.0)
+        report = ServingSimulator(pools(), SimConfig(max_sim_time=600.0)).run(t)
+        assert 0 < report.ttft_p50 <= report.ttft_p99
+        assert 0 < report.e2e_p50 <= report.e2e_p99
+        assert report.ttft_p50 < report.e2e_p50
+
+    def test_throughput_positive(self):
+        report = ServingSimulator(pools(), SimConfig(max_sim_time=600.0)).run(trace())
+        assert report.output_tokens_per_s > 0
+        assert 0 <= report.decode_utilization <= 1
+
+    def test_describe(self):
+        report = ServingSimulator(pools(), SimConfig(max_sim_time=100.0)).run(trace(rate=1.0, duration=3.0))
+        assert "completed" in report.describe()
+
+    def test_empty_trace(self):
+        report = ServingSimulator(pools(), SimConfig(max_sim_time=10.0)).run([])
+        assert report.completed == 0
+
+
+class TestCapacityEffects:
+    def test_overload_queues_grow_ttft(self):
+        light = ServingSimulator(pools(), SimConfig(max_sim_time=900.0)).run(
+            trace(rate=1.0, duration=20.0)
+        )
+        heavy = ServingSimulator(pools(), SimConfig(max_sim_time=900.0)).run(
+            trace(rate=30.0, duration=20.0)
+        )
+        assert heavy.ttft_p99 > light.ttft_p99
+
+    def test_more_decode_instances_raise_throughput_under_load(self):
+        """With abundant prefill capacity and a decode-saturating load, the
+        decode pool size sets output throughput."""
+        t = trace(rate=60.0, duration=15.0, output_tokens=400)
+        one = ServingSimulator(pools(n_prefill=4, n_decode=1), SimConfig(max_sim_time=60.0)).run(t)
+        four = ServingSimulator(pools(n_prefill=4, n_decode=4), SimConfig(max_sim_time=60.0)).run(t)
+        assert four.output_tokens_per_s > one.output_tokens_per_s
+
+    def test_horizon_cuts_completions(self):
+        t = trace(rate=5.0, duration=30.0)
+        short = ServingSimulator(pools(), SimConfig(max_sim_time=5.0)).run(t)
+        assert short.dropped > 0
+
+
+class TestPhaseSplitting:
+    def test_specialized_pools_run(self):
+        """Splitwise deployment: +FLOPS prefill pool, +MemBW decode pool."""
+        split = PhasePools(
+            prefill=InstanceSpec(LLAMA3_8B, LITE_NETBW_FLOPS, 1),
+            n_prefill=2,
+            decode=InstanceSpec(LLAMA3_8B, LITE_MEMBW, 1),
+            n_decode=2,
+            max_prefill_batch=4,
+            max_decode_batch=64,
+        )
+        report = ServingSimulator(split, SimConfig(max_sim_time=600.0)).run(trace(rate=3.0))
+        assert report.completed > 0
+        assert report.tbt_mean < 0.05
+
+
+class TestFailures:
+    def test_decode_failure_requeues_requests(self):
+        t = trace(rate=5.0, duration=10.0, output_tokens=200)
+        sim = ServingSimulator(
+            pools(n_decode=2),
+            SimConfig(max_sim_time=900.0),
+            failures=[(3.0, "decode", 0, 30.0)],
+        )
+        report = sim.run(t)
+        assert report.requeued_on_failure > 0
+        # Work still completes after recovery.
+        assert report.completed == len(t)
+
+    def test_failure_hurts_tail_latency(self):
+        t = trace(rate=5.0, duration=10.0, output_tokens=100, seed=9)
+        clean = ServingSimulator(pools(), SimConfig(max_sim_time=900.0)).run(t)
+        faulty = ServingSimulator(
+            pools(), SimConfig(max_sim_time=900.0), failures=[(2.0, "decode", 0, 60.0)]
+        ).run(t)
+        assert faulty.e2e_p99 > clean.e2e_p99
+
+    def test_prefill_failure_delays_ttft(self):
+        t = trace(rate=5.0, duration=10.0, seed=4)
+        clean = ServingSimulator(pools(), SimConfig(max_sim_time=900.0)).run(t)
+        faulty = ServingSimulator(
+            pools(), SimConfig(max_sim_time=900.0), failures=[(1.0, "prefill", 0, 120.0)]
+        ).run(t)
+        assert faulty.ttft_p99 > clean.ttft_p99
+
+    def test_failure_validation(self):
+        with pytest.raises(SpecError):
+            ServingSimulator(pools(), failures=[(1.0, "decode", 9, 10.0)])
+        with pytest.raises(SpecError):
+            ServingSimulator(pools(), failures=[(1.0, "gpu", 0, 10.0)])
+        with pytest.raises(SpecError):
+            ServingSimulator(pools(), failures=[(1.0, "decode", 0, -5.0)])

@@ -1,0 +1,86 @@
+"""ClusterSpec rollup tests — the Figure 2 cluster-level comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec, lite_equivalent
+from repro.errors import SpecError
+from repro.hardware.gpu import H100, LITE
+from repro.hardware.scaling import LiteScaling
+
+
+class TestAggregates:
+    def test_totals(self):
+        cluster = ClusterSpec(H100, 8)
+        assert cluster.total_flops == 8 * H100.peak_flops
+        assert cluster.total_mem_capacity == 8 * H100.mem_capacity
+        assert cluster.total_sms == 8 * 132
+        assert cluster.gpu_power == 8 * H100.tdp
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            ClusterSpec(H100, 0)
+        with pytest.raises(SpecError):
+            ClusterSpec(H100, 8, topology_kind="token-ring")
+
+
+class TestTopologies:
+    def test_materialization(self):
+        assert ClusterSpec(H100, 8, "switched").topology().n_gpus == 8
+        assert ClusterSpec(LITE, 32, "circuit").topology().n_gpus == 32
+        assert ClusterSpec(LITE, 32, "direct", group=4).topology().n_groups == 8
+
+    def test_direct_requires_divisibility(self):
+        with pytest.raises(SpecError):
+            ClusterSpec(LITE, 30, "direct", group=4).topology()
+
+    def test_fabric_report(self):
+        report = ClusterSpec(LITE, 32, "circuit").fabric_report()
+        assert report.n_gpus == 32
+        assert report.capex_usd > 0
+
+
+class TestEconomics:
+    def test_total_power_includes_network(self):
+        cluster = ClusterSpec(LITE, 32, "circuit")
+        assert cluster.total_power() > cluster.gpu_power
+
+    def test_gpu_capex_positive(self):
+        assert ClusterSpec(H100, 8).gpu_capex() > 0
+
+    def test_lite_cluster_cheaper_gpus_at_equal_compute(self):
+        """The Section 2 economics at cluster level: 32 Lite packages cost
+        less than 8 H100 packages (yield + packaging)."""
+        h100 = ClusterSpec(H100, 8)
+        lite = lite_equivalent(h100)
+        assert lite.gpu_capex() < h100.gpu_capex()
+
+    def test_network_cost_fraction_small_for_h100_larger_for_lite(self):
+        """Section 2: networking is 'a small fraction compared to the GPU
+        costs today' (H100 clusters) — and Section 4's caveat: for Lite
+        clusters the fraction grows, though it stays bounded."""
+        h100 = ClusterSpec(H100, 512, "circuit")
+        h100_fraction = h100.fabric_report().capex_usd / h100.gpu_capex(price_multiplier=4.0)
+        assert h100_fraction < 0.15
+        lite = ClusterSpec(LITE, 2048, "circuit")
+        lite_fraction = lite.fabric_report().capex_usd / lite.gpu_capex(price_multiplier=4.0)
+        assert h100_fraction < lite_fraction < 0.50
+
+
+class TestLiteEquivalent:
+    def test_counts_and_compute_conserved(self):
+        base = ClusterSpec(H100, 8)
+        lite = lite_equivalent(base)
+        assert lite.n_gpus == 32
+        assert lite.total_flops == pytest.approx(base.total_flops)
+        assert lite.total_mem_capacity == pytest.approx(base.total_mem_capacity)
+        assert lite.total_sms == base.total_sms
+
+    def test_custom_scaling(self):
+        base = ClusterSpec(H100, 4)
+        lite = lite_equivalent(base, LiteScaling(split=2))
+        assert lite.n_gpus == 8
+
+    def test_describe(self):
+        assert "H100" in ClusterSpec(H100, 8).describe()

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.roofline import CommModel, RooflinePolicy
+from repro.core.search import SearchConstraints
+from repro.hardware.gpu import H100, LITE, LITE_MEMBW, LITE_NETBW
+from repro.workloads.models import GPT3_175B, LLAMA3_8B, LLAMA3_70B, LLAMA3_405B
+
+
+@pytest.fixture
+def policy() -> RooflinePolicy:
+    """Default (paper) roofline policy."""
+    return RooflinePolicy()
+
+
+@pytest.fixture
+def ring_policy() -> RooflinePolicy:
+    """Flat-ring (pessimistic) policy."""
+    return RooflinePolicy(comm_model=CommModel.FLAT_RING)
+
+
+@pytest.fixture
+def constraints() -> SearchConstraints:
+    """Paper search constraints (TTFT <= 1 s, TBT <= 50 ms)."""
+    return SearchConstraints()
+
+
+@pytest.fixture(params=[LLAMA3_70B, GPT3_175B, LLAMA3_405B], ids=lambda m: m.name)
+def paper_model(request):
+    """Each of the paper's three evaluated models."""
+    return request.param
+
+
+@pytest.fixture(params=[H100, LITE, LITE_NETBW, LITE_MEMBW], ids=lambda g: g.name)
+def any_gpu(request):
+    """A representative set of GPU types."""
+    return request.param

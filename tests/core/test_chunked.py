@@ -1,0 +1,103 @@
+"""Chunked-prefill (SARATHI-style) model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chunked import (
+    MixedIteration,
+    chunk_for_tbt,
+    chunked_vs_split_throughput,
+    mixed_iteration_time,
+)
+from repro.core.inference import DecodeWorkload, decode_iteration
+from repro.errors import SpecError
+from repro.hardware.gpu import H100, LITE, LITE_MEMBW
+from repro.workloads.models import LLAMA3_8B, LLAMA3_70B
+
+
+class TestMixedIteration:
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            MixedIteration(decode_batch=0, context_len=1750, chunk=0)
+        with pytest.raises(SpecError):
+            MixedIteration(decode_batch=-1, context_len=1750, chunk=8)
+        with pytest.raises(SpecError):
+            MixedIteration(decode_batch=1, context_len=0, chunk=8)
+
+    def test_pure_decode_matches_decode_model(self):
+        """chunk=0 must reduce to the plain decode iteration."""
+        mixed = mixed_iteration_time(
+            LLAMA3_70B, H100, 2, MixedIteration(decode_batch=64, context_len=1750, chunk=0)
+        )
+        plain = decode_iteration(LLAMA3_70B, H100, 2, DecodeWorkload(64, 1750))
+        assert mixed.tbt == pytest.approx(plain.latency, rel=0.02)
+
+    def test_chunk_inflates_tbt(self):
+        base = mixed_iteration_time(
+            LLAMA3_70B, H100, 2, MixedIteration(64, 1750, 0)
+        ).tbt
+        chunked = mixed_iteration_time(
+            LLAMA3_70B, H100, 2, MixedIteration(64, 1750, 2048)
+        ).tbt
+        assert chunked > base
+
+    def test_chunk_rides_in_memory_shadow(self):
+        """A modest chunk adds prefill throughput at small TBT cost —
+        the piggybacking effect (decode is memory-bound, the chunk's GEMMs
+        are compute that overlaps)."""
+        base = mixed_iteration_time(LLAMA3_70B, H100, 2, MixedIteration(64, 1750, 0))
+        small = mixed_iteration_time(LLAMA3_70B, H100, 2, MixedIteration(64, 1750, 256))
+        assert small.prefill_tokens_per_s > 0
+        assert small.tbt < base.tbt * 1.25
+
+    def test_throughputs_accounted(self):
+        result = mixed_iteration_time(LLAMA3_8B, H100, 1, MixedIteration(32, 1000, 512))
+        assert result.total_tokens_per_s == pytest.approx(
+            result.decode_tokens_per_s + result.prefill_tokens_per_s
+        )
+
+
+class TestChunkForTBT:
+    def test_chunk_respects_slo(self):
+        chunk = chunk_for_tbt(LLAMA3_70B, H100, 2, decode_batch=64, context_len=1750)
+        assert chunk > 0
+        result = mixed_iteration_time(LLAMA3_70B, H100, 2, MixedIteration(64, 1750, chunk))
+        assert result.tbt <= 0.050 + 1e-6
+
+    def test_zero_when_decode_already_misses(self):
+        chunk = chunk_for_tbt(
+            LLAMA3_70B, H100, 2, decode_batch=64, context_len=1750, tbt_slo=0.001
+        )
+        assert chunk == 0
+
+    def test_tighter_slo_smaller_chunk(self):
+        loose = chunk_for_tbt(LLAMA3_70B, H100, 2, 64, 1750, tbt_slo=0.050)
+        tight = chunk_for_tbt(LLAMA3_70B, H100, 2, 64, 1750, tbt_slo=0.035)
+        assert tight <= loose
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            chunk_for_tbt(LLAMA3_70B, H100, 2, 64, 1750, tbt_slo=0.0)
+
+
+class TestChunkedVsSplit:
+    def test_comparison_structure(self):
+        result = chunked_vs_split_throughput(LLAMA3_70B, H100, 2, decode_batch=64)
+        assert result["chunk"] > 0
+        assert result["piggyback_prefill_tokens_per_s"] > 0
+        assert result["dedicated_prefill_tokens_per_s"] > 0
+        assert result["tbt"] <= 0.050 + 1e-6
+
+    def test_dedicated_pool_outruns_piggyback(self):
+        """A dedicated prefill pool always moves more prompt tokens than
+        the SLO-capped piggyback — the reason phase-splitting exists."""
+        result = chunked_vs_split_throughput(LLAMA3_70B, H100, 2, decode_batch=64)
+        assert result["dedicated_prefill_tokens_per_s"] > result["piggyback_prefill_tokens_per_s"]
+
+    def test_membw_lite_piggybacks_more(self):
+        """Lite+MemBW finishes decode iterations faster, leaving more SLO
+        headroom for chunks than plain Lite at the same decode batch."""
+        plain = chunked_vs_split_throughput(LLAMA3_70B, LITE, 8, decode_batch=64)
+        membw = chunked_vs_split_throughput(LLAMA3_70B, LITE_MEMBW, 8, decode_batch=64)
+        assert membw["piggyback_prefill_tokens_per_s"] > plain["piggyback_prefill_tokens_per_s"]

@@ -1,0 +1,88 @@
+"""Metric-utility tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.inference import DecodeWorkload, decode_iteration
+from repro.core.metrics import (
+    efficiency_summary,
+    normalize_to_baseline,
+    pareto_front,
+    speedup,
+    tokens_per_s_per_sm,
+)
+from repro.errors import SpecError
+from repro.hardware.gpu import H100
+from repro.workloads.models import LLAMA3_70B
+
+
+class TestNormalization:
+    def test_baseline_reads_one(self):
+        norm = normalize_to_baseline({"H100": 4.0, "Lite": 3.0}, "H100")
+        assert norm == {"H100": 1.0, "Lite": 0.75}
+
+    def test_missing_baseline(self):
+        with pytest.raises(SpecError):
+            normalize_to_baseline({"a": 1.0}, "b")
+
+    def test_zero_baseline(self):
+        with pytest.raises(SpecError):
+            normalize_to_baseline({"a": 0.0, "b": 1.0}, "a")
+
+
+class TestPareto:
+    def test_dominated_point_removed(self):
+        assert pareto_front([(1, 1), (2, 3), (3, 2)]) == [(1, 1), (2, 3)]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_single_point(self):
+        assert pareto_front([(5, 5)]) == [(5, 5)]
+
+    def test_orientation_min_min(self):
+        front = pareto_front([(1, 3), (2, 2), (3, 1), (3, 3)], maximize_y=False)
+        assert front == [(1, 3), (2, 2), (3, 1)]
+
+    @given(
+        points=st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_front_is_mutually_nondominated(self, points):
+        front = pareto_front(points)
+        for i, (x1, y1) in enumerate(front):
+            for j, (x2, y2) in enumerate(front):
+                if i != j:
+                    dominates = x2 <= x1 and y2 >= y1 and (x2 < x1 or y2 > y1)
+                    assert not dominates
+
+
+class TestSummary:
+    def test_summary_over_results(self):
+        results = [
+            decode_iteration(LLAMA3_70B, H100, 2, DecodeWorkload(b)) for b in (8, 16, 32)
+        ]
+        summary = efficiency_summary(results)
+        assert summary["count"] == 3
+        assert summary["min"] <= summary["median"] <= summary["max"]
+
+    def test_empty_summary(self):
+        assert efficiency_summary([]) == {"count": 0}
+
+    def test_tokens_per_s_per_sm_helper(self):
+        r = decode_iteration(LLAMA3_70B, H100, 2, DecodeWorkload(8))
+        assert tokens_per_s_per_sm(r) == r.tokens_per_s_per_sm
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(3.0, 2.0) == 1.5
+
+    def test_zero_old_rejected(self):
+        with pytest.raises(SpecError):
+            speedup(1.0, 0.0)

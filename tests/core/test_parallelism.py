@@ -1,0 +1,136 @@
+"""Tensor-parallel sharding tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parallelism import KVPlacement, TensorParallel, valid_tp_degrees
+from repro.errors import InfeasibleError, SpecError
+from repro.workloads.models import GPT3_175B, LLAMA3_70B, LLAMA3_405B
+
+
+class TestValidity:
+    def test_degree_must_divide_heads(self):
+        with pytest.raises(InfeasibleError):
+            TensorParallel(LLAMA3_70B, 3)
+
+    def test_valid_degrees_h100(self):
+        assert valid_tp_degrees(LLAMA3_70B, 8) == [1, 2, 4, 8]
+
+    def test_valid_degrees_lite_respect_domain(self):
+        degrees = valid_tp_degrees(LLAMA3_70B, 32, scaleup_domain=4)
+        assert degrees == [1, 2, 4, 8, 16, 32]
+
+    def test_gpt3_degrees_include_non_powers(self):
+        degrees = valid_tp_degrees(GPT3_175B, 32, scaleup_domain=4)
+        assert 12 in degrees and 24 in degrees
+        assert 6 not in degrees  # > domain but not a multiple of 4
+
+    def test_degrees_below_domain_unconstrained(self):
+        degrees = valid_tp_degrees(GPT3_175B, 8, scaleup_domain=8)
+        assert degrees == [1, 2, 3, 4, 6, 8]
+
+
+class TestShards:
+    def test_heads_per_gpu(self):
+        assert TensorParallel(LLAMA3_70B, 8).heads_per_gpu == 8
+
+    def test_kv_replication_kicks_in_above_kv_heads(self):
+        assert TensorParallel(LLAMA3_70B, 8).kv_replication == 1
+        assert TensorParallel(LLAMA3_70B, 32).kv_replication == 4
+
+    def test_mha_never_replicates(self):
+        assert TensorParallel(GPT3_175B, 32).kv_replication == 1
+
+    def test_weight_shards_sum_to_model(self):
+        """Sharded weights across ranks must reconstruct the model
+        (SHARDED placement: exact partition)."""
+        for degree in (1, 2, 4, 8):
+            tp = TensorParallel(LLAMA3_70B, degree)
+            total = tp.weight_bytes_per_gpu(1.0) * degree
+            assert total == pytest.approx(LLAMA3_70B.weight_bytes(1.0), rel=1e-6)
+
+    def test_replicated_weights_exceed_model_at_high_degree(self):
+        tp = TensorParallel(LLAMA3_70B, 32, KVPlacement.REPLICATED)
+        total = tp.weight_bytes_per_gpu(1.0) * 32
+        assert total > LLAMA3_70B.weight_bytes(1.0)
+
+
+class TestKVCache:
+    def test_sharded_partition_exact(self):
+        tp = TensorParallel(LLAMA3_70B, 32, KVPlacement.SHARDED)
+        per_gpu = tp.kv_bytes_per_token_per_gpu()
+        assert per_gpu * 32 == pytest.approx(LLAMA3_70B.kv_bytes_per_token())
+
+    def test_replicated_inflates_aggregate(self):
+        tp = TensorParallel(LLAMA3_70B, 32, KVPlacement.REPLICATED)
+        per_gpu = tp.kv_bytes_per_token_per_gpu()
+        assert per_gpu * 32 == pytest.approx(4 * LLAMA3_70B.kv_bytes_per_token())
+
+    def test_placements_agree_below_kv_heads(self):
+        sharded = TensorParallel(LLAMA3_70B, 4, KVPlacement.SHARDED)
+        replicated = TensorParallel(LLAMA3_70B, 4, KVPlacement.REPLICATED)
+        assert sharded.kv_bytes_per_token_per_gpu() == pytest.approx(
+            replicated.kv_bytes_per_token_per_gpu()
+        )
+
+    def test_max_cached_tokens_positive_when_weights_fit(self):
+        tp = TensorParallel(LLAMA3_70B, 8)
+        assert tp.max_cached_tokens(20e9) > 0
+
+    def test_max_cached_tokens_zero_when_weights_do_not_fit(self):
+        tp = TensorParallel(LLAMA3_405B, 8)
+        assert tp.max_cached_tokens(20e9) == 0
+
+    def test_fits(self):
+        assert TensorParallel(LLAMA3_70B, 8).fits(20e9)
+        assert not TensorParallel(LLAMA3_405B, 2).fits(80e9)
+
+    def test_reserve_fraction_reduces_tokens(self):
+        tp = TensorParallel(LLAMA3_70B, 8)
+        plenty = tp.max_cached_tokens(80e9, reserve_fraction=0.0)
+        reserved = tp.max_cached_tokens(80e9, reserve_fraction=0.3)
+        assert reserved < plenty
+
+    def test_validation(self):
+        tp = TensorParallel(LLAMA3_70B, 8)
+        with pytest.raises(SpecError):
+            tp.kv_bytes_per_gpu(-1)
+        with pytest.raises(SpecError):
+            tp.max_cached_tokens(0.0)
+        with pytest.raises(SpecError):
+            TensorParallel(LLAMA3_70B, 0)
+
+
+class TestPaperConfiguration:
+    def test_405b_needs_all_32_lite_gpus(self):
+        """405 GB FP8 weights: only the full 32-GPU Lite cluster fits."""
+        assert not TensorParallel(LLAMA3_405B, 16).fits(20e9)
+        assert TensorParallel(LLAMA3_405B, 32).fits(20e9)
+
+    def test_gpt3_mha_kv_pressure(self):
+        """GPT-3's per-token KV per GPU is ~12x Llama3-70B's at the same
+        degree — the Figure 3b 'memory access intensity' driver."""
+        gpt3 = TensorParallel(GPT3_175B, 8).kv_bytes_per_token_per_gpu()
+        llama = TensorParallel(LLAMA3_70B, 8).kv_bytes_per_token_per_gpu()
+        assert gpt3 / llama > 10
+
+
+class TestProperties:
+    @given(degree=st.sampled_from([1, 2, 4, 8, 16, 32]))
+    @settings(max_examples=20, deadline=None)
+    def test_weight_shard_decreasing_in_degree(self, degree):
+        tp = TensorParallel(LLAMA3_70B, degree)
+        if degree > 1:
+            smaller = TensorParallel(LLAMA3_70B, degree // 2)
+            assert tp.weight_bytes_per_gpu() < smaller.weight_bytes_per_gpu()
+
+    @given(tokens=st.integers(0, 1_000_000), degree=st.sampled_from([2, 8, 32]))
+    @settings(max_examples=40, deadline=None)
+    def test_kv_linear_in_tokens(self, tokens, degree):
+        tp = TensorParallel(LLAMA3_70B, degree)
+        assert tp.kv_bytes_per_gpu(tokens) == pytest.approx(
+            tokens * tp.kv_bytes_per_token_per_gpu()
+        )

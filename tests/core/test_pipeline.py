@@ -1,0 +1,114 @@
+"""Pipeline / hybrid parallelism tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.inference import DecodeWorkload, Phase, PrefillWorkload
+from repro.core.pipeline import (
+    HybridParallel,
+    pipeline_decode,
+    pipeline_prefill,
+    search_hybrid_config,
+    valid_stage_counts,
+)
+from repro.core.search import search_best_config
+from repro.errors import InfeasibleError, SpecError
+from repro.hardware.gpu import H100, LITE, LITE_MEMBW
+from repro.workloads.models import LLAMA3_70B, LLAMA3_405B
+
+
+class TestLayout:
+    def test_gpu_count(self):
+        layout = HybridParallel(LLAMA3_70B, tensor=8, stages=4)
+        assert layout.n_gpus == 32
+        assert layout.layers_per_stage == 20
+
+    def test_too_many_stages(self):
+        with pytest.raises(InfeasibleError):
+            HybridParallel(LLAMA3_70B, tensor=1, stages=81)
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            HybridParallel(LLAMA3_70B, tensor=0, stages=1)
+
+    def test_valid_stage_counts_divide_layers(self):
+        counts = valid_stage_counts(LLAMA3_70B, 8)  # 80 layers
+        assert counts == [1, 2, 4, 5, 8]
+
+
+class TestPrefillPipeline:
+    def test_single_stage_matches_tp_only(self):
+        """stages=1, one microbatch: the pipeline model must reduce to the
+        plain TP pass."""
+        from repro.core.inference import prefill_pass
+
+        plain = prefill_pass(LLAMA3_70B, H100, 8, PrefillWorkload(4))
+        piped = pipeline_prefill(
+            LLAMA3_70B, H100, 8, 1, PrefillWorkload(4), microbatches=1
+        )
+        assert piped.latency == pytest.approx(plain.latency, rel=0.02)
+
+    def test_bubble_fraction_formula(self):
+        result = pipeline_prefill(
+            LLAMA3_70B, LITE, 8, 4, PrefillWorkload(8), microbatches=8
+        )
+        assert result.bubble_fraction == pytest.approx(3 / 11)
+
+    def test_more_microbatches_shrink_bubble(self):
+        few = pipeline_prefill(LLAMA3_70B, LITE, 8, 4, PrefillWorkload(16), microbatches=4)
+        many = pipeline_prefill(LLAMA3_70B, LITE, 8, 4, PrefillWorkload(16), microbatches=16)
+        assert many.bubble_fraction < few.bubble_fraction
+
+    def test_pp_shrinks_per_gpu_weights(self):
+        """PP splits layers: a model too big for t GPUs fits t x p."""
+        result = pipeline_prefill(LLAMA3_405B, LITE, 8, 4, PrefillWorkload(1))
+        assert result.fits_memory  # 405 GB over 32 GPUs via 8x4
+
+
+class TestDecodePipeline:
+    def test_single_stage_matches_tp_only(self):
+        from repro.core.inference import decode_iteration
+
+        plain = decode_iteration(LLAMA3_70B, H100, 8, DecodeWorkload(32))
+        piped = pipeline_decode(LLAMA3_70B, H100, 8, 1, DecodeWorkload(32))
+        assert piped.latency == pytest.approx(plain.latency, rel=0.02)
+
+    def test_pp_inflates_tbt(self):
+        """Decode is latency-bound: the token crosses every stage, and 3/4
+        of the cluster idles per token — TBT grows with stages."""
+        tp_only = pipeline_decode(LLAMA3_70B, LITE, 32, 1, DecodeWorkload(64))
+        piped = pipeline_decode(LLAMA3_70B, LITE, 8, 4, DecodeWorkload(64))
+        assert piped.latency > tp_only.latency
+
+    def test_throughput_view_faster_than_latency_view(self):
+        result = pipeline_decode(LLAMA3_70B, LITE, 8, 4, DecodeWorkload(64))
+        assert result.throughput_latency < result.latency
+
+
+class TestHybridSearch:
+    def test_never_worse_than_tp_only(self):
+        """stages=1 is in the search space, so hybrid >= the paper's sweep."""
+        for phase in (Phase.PREFILL, Phase.DECODE):
+            tp_only = search_best_config(LLAMA3_70B, LITE, phase).best_tokens_per_s_per_sm
+            hybrid = search_hybrid_config(LLAMA3_70B, LITE, phase)
+            assert hybrid is not None
+            assert hybrid.tokens_per_s_per_sm >= tp_only * 0.999
+
+    def test_pp_recovers_405b_prefill_on_lite(self):
+        """The extension finding: TP x PP beats 32-way TP for 405B prefill
+        on Lite (all-reduce degree drops 2-4x at an 11% bubble)."""
+        tp_only = search_best_config(LLAMA3_405B, LITE, "prefill").best_tokens_per_s_per_sm
+        hybrid = search_hybrid_config(LLAMA3_405B, LITE, "prefill")
+        assert hybrid.stages > 1
+        assert hybrid.tokens_per_s_per_sm > tp_only * 1.05
+
+    def test_pp_does_not_fix_405b_decode(self):
+        """Decode TBT is latency-bound, so the hybrid search correctly
+        falls back to pure TP for decode."""
+        hybrid = search_hybrid_config(LLAMA3_405B, LITE_MEMBW, "decode")
+        assert hybrid.stages == 1
+
+    def test_slo_respected(self):
+        hybrid = search_hybrid_config(LLAMA3_70B, LITE, "decode")
+        assert hybrid.latency <= 0.050

@@ -1,0 +1,133 @@
+"""Configuration-search tests — the Section 4 sweep semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.inference import Phase
+from repro.core.roofline import RooflinePolicy
+from repro.core.search import (
+    SearchConstraints,
+    search_best_config,
+    search_many,
+    _batch_grid,
+)
+from repro.errors import SpecError
+from repro.hardware.gpu import H100, LITE
+from repro.workloads.models import GPT3_175B, LLAMA3_8B, LLAMA3_70B, LLAMA3_405B
+
+
+class TestConstraints:
+    def test_paper_defaults(self):
+        c = SearchConstraints()
+        assert c.ttft_slo == 1.0
+        assert c.tbt_slo == 0.050
+        assert c.prompt_len == 1500
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            SearchConstraints(ttft_slo=0.0)
+        with pytest.raises(SpecError):
+            SearchConstraints(max_batch=0)
+
+
+class TestBatchGrid:
+    def test_grid_starts_at_one_and_caps(self):
+        grid = _batch_grid(100)
+        assert grid[0] == 1
+        assert max(grid) <= 100
+
+    def test_grid_strictly_increasing(self):
+        grid = _batch_grid(512)
+        assert all(b < a for b, a in zip(grid, grid[1:]))
+
+
+class TestSearch:
+    def test_finds_feasible_decode_config(self):
+        result = search_best_config(LLAMA3_70B, H100, "decode")
+        assert result.feasible
+        best = result.best
+        assert best.result.latency <= 0.050
+        assert best.result.fits_memory
+
+    def test_finds_feasible_prefill_config(self):
+        result = search_best_config(LLAMA3_70B, H100, "prefill")
+        assert result.feasible
+        assert result.best.result.latency <= 1.0
+
+    def test_every_frontier_point_evaluated_consistently(self):
+        result = search_best_config(LLAMA3_70B, H100, "decode")
+        for point in result.frontier:
+            if point.feasible:
+                assert point.tokens_per_s_per_sm <= result.best_tokens_per_s_per_sm + 1e-9
+
+    def test_accepts_phase_enum_and_string(self):
+        a = search_best_config(LLAMA3_8B, H100, Phase.DECODE)
+        b = search_best_config(LLAMA3_8B, H100, "decode")
+        assert a.best.tokens_per_s_per_sm == b.best.tokens_per_s_per_sm
+
+    def test_may_prefer_fewer_gpus_than_max(self):
+        """Paper: 'the search may return that running a model with less GPUs
+        than the maximum yields better throughput per SM' — true for
+        Llama3-70B decode on H100 (weights fit 2 GPUs)."""
+        result = search_best_config(LLAMA3_70B, H100, "decode")
+        assert result.best.n_gpus < H100.max_cluster
+
+    def test_405b_forces_full_lite_cluster(self):
+        result = search_best_config(LLAMA3_405B, LITE, "decode")
+        assert result.feasible
+        assert result.best.n_gpus == 32
+
+    def test_infeasible_when_model_too_big(self):
+        """405B cannot run on a single H100 at any batch."""
+        result = search_best_config(LLAMA3_405B, H100, "decode", max_gpus=1)
+        assert not result.feasible
+        assert result.best_tokens_per_s_per_sm == 0.0
+
+    def test_tight_slo_never_improves_optimum(self):
+        """A tighter TBT can shift the winner (often to more GPUs) but the
+        best efficiency cannot rise, and the winner must meet the SLO."""
+        loose = search_best_config(LLAMA3_70B, H100, "decode", SearchConstraints(tbt_slo=0.050))
+        tight = search_best_config(LLAMA3_70B, H100, "decode", SearchConstraints(tbt_slo=0.010))
+        assert tight.best.result.latency <= 0.010
+        assert tight.best_tokens_per_s_per_sm <= loose.best_tokens_per_s_per_sm + 1e-9
+
+    def test_describe(self):
+        result = search_best_config(LLAMA3_8B, H100, "decode")
+        assert "tok/s/SM" in result.describe()
+        infeasible = search_best_config(LLAMA3_405B, H100, "decode", max_gpus=1)
+        assert "infeasible" in infeasible.describe()
+
+
+class TestSearchMany:
+    def test_matrix_shape(self):
+        results = search_many([LLAMA3_8B, LLAMA3_70B], [H100, LITE], "decode")
+        assert set(results) == {
+            ("Llama3-8B", "H100"),
+            ("Llama3-8B", "Lite"),
+            ("Llama3-70B", "H100"),
+            ("Llama3-70B", "Lite"),
+        }
+        assert all(r.feasible for r in results.values())
+
+
+class TestSearchPhysics:
+    def test_decode_best_batch_saturates_a_constraint(self):
+        """tokens/s/SM is monotone in batch, so the winner sits at the
+        memory or TBT boundary: batch+1 must be infeasible."""
+        from repro.core.search import _evaluate
+
+        result = search_best_config(LLAMA3_70B, H100, "decode")
+        best = result.best
+        bumped = _evaluate(
+            Phase.DECODE, LLAMA3_70B, H100, best.n_gpus, best.batch + 1,
+            SearchConstraints(), RooflinePolicy(),
+        )
+        assert not bumped.feasible
+
+    def test_gpt3_decode_capacity_spread(self):
+        """GPT-3 decode: H100's best config uses large aggregate memory —
+        its batch at 8 GPUs far exceeds what 4 GPUs can hold."""
+        at8 = search_best_config(GPT3_175B, H100, "decode")
+        at4 = search_best_config(GPT3_175B, H100, "decode", max_gpus=4)
+        assert at8.best.batch > 2 * at4.best.batch

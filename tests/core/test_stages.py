@@ -1,0 +1,151 @@
+"""Stage-accounting tests: FLOPs, bytes and collectives per stage."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parallelism import TensorParallel
+from repro.core.roofline import RooflinePolicy
+from repro.core.stages import (
+    StageCost,
+    decode_stage_costs,
+    phase_totals,
+    prefill_stage_costs,
+)
+from repro.errors import SpecError
+from repro.workloads.models import GPT3_175B, LLAMA3_70B
+
+
+POLICY = RooflinePolicy()
+
+
+class TestStageCost:
+    def test_rejects_negative(self):
+        with pytest.raises(SpecError):
+            StageCost("x", flops=-1, mem_bytes=0)
+
+    def test_rejects_unknown_collective(self):
+        with pytest.raises(SpecError):
+            StageCost("x", flops=0, mem_bytes=0, comm=(("all_scatter", 10.0),))
+
+
+class TestPrefill:
+    def test_stage_names_match_paper(self):
+        """'projection, MLP, and fused FlashAttention' + LM head tail."""
+        costs = prefill_stage_costs(TensorParallel(LLAMA3_70B, 8), 4, 1500, POLICY)
+        assert [s.name for s in costs.layer_stages] == ["projection", "attention", "mlp"]
+        assert [s.name for s in costs.tail_stages] == ["lm_head"]
+        assert costs.layers == 80
+
+    def test_two_allreduces_per_layer(self):
+        """Megatron tensor parallelism: one per projection, one per MLP."""
+        costs = prefill_stage_costs(TensorParallel(LLAMA3_70B, 8), 4, 1500, POLICY)
+        ar_count = sum(
+            1 for stage in costs.layer_stages for op, _ in stage.comm if op == "all_reduce"
+        )
+        assert ar_count == 2
+
+    def test_allreduce_size_is_activation_tensor(self):
+        batch, prompt = 4, 1500
+        costs = prefill_stage_costs(TensorParallel(LLAMA3_70B, 8), batch, prompt, POLICY)
+        proj = costs.layer_stages[0]
+        (op, size), = proj.comm
+        assert op == "all_reduce"
+        assert size == batch * prompt * LLAMA3_70B.hidden * POLICY.act_bytes
+
+    def test_total_flops_close_to_2N_per_token(self):
+        """Aggregate prefill FLOPs ~ 2 * params * tokens (plus attention)."""
+        tp = TensorParallel(LLAMA3_70B, 8)
+        batch, prompt = 2, 1500
+        costs = prefill_stage_costs(tp, batch, prompt, POLICY)
+        totals = phase_totals(costs)
+        cluster_flops = totals["flops"] * 8
+        dense = 2.0 * LLAMA3_70B.param_count * batch * prompt
+        assert cluster_flops == pytest.approx(dense, rel=0.25)
+        assert cluster_flops > 0.9 * dense
+
+    def test_causal_discount_halves_attention_flops(self):
+        tp = TensorParallel(LLAMA3_70B, 8)
+        full = prefill_stage_costs(tp, 1, 1500, RooflinePolicy(causal_discount=1.0))
+        half = prefill_stage_costs(tp, 1, 1500, RooflinePolicy(causal_discount=0.5))
+        assert half.layer_stages[1].flops == pytest.approx(full.layer_stages[1].flops / 2)
+
+    def test_attention_flops_quadratic_in_prompt(self):
+        tp = TensorParallel(LLAMA3_70B, 8)
+        short = prefill_stage_costs(tp, 1, 1000, POLICY).layer_stages[1].flops
+        long = prefill_stage_costs(tp, 1, 2000, POLICY).layer_stages[1].flops
+        assert long == pytest.approx(4 * short)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(SpecError):
+            prefill_stage_costs(TensorParallel(LLAMA3_70B, 8), 0, 1500, POLICY)
+
+
+class TestDecode:
+    def test_attention_reads_whole_cache(self):
+        """Decode attention memory should be dominated by the KV read."""
+        tp = TensorParallel(LLAMA3_70B, 8)
+        batch, context = 64, 1750
+        costs = decode_stage_costs(tp, batch, context, POLICY)
+        attn = costs.layer_stages[1]
+        kv_read = batch * context * 2 * tp.kv_width_per_gpu * POLICY.kv_bytes
+        assert attn.mem_bytes >= kv_read
+        assert attn.mem_bytes == pytest.approx(kv_read, rel=0.1)
+
+    def test_decode_attention_linear_in_context(self):
+        tp = TensorParallel(LLAMA3_70B, 8)
+        short = decode_stage_costs(tp, 8, 1000, POLICY).layer_stages[1]
+        long = decode_stage_costs(tp, 8, 2000, POLICY).layer_stages[1]
+        assert long.flops == pytest.approx(2 * short.flops)
+
+    def test_decode_weights_dominate_mem_at_batch_1(self):
+        """At batch 1 the iteration is a weight-read: per-layer memory ~
+        layer weight shard."""
+        tp = TensorParallel(LLAMA3_70B, 8)
+        costs = decode_stage_costs(tp, 1, 1750, POLICY)
+        mlp = costs.layer_stages[2]
+        weights = tp.mlp_params_per_gpu() * POLICY.weight_bytes
+        assert mlp.mem_bytes == pytest.approx(weights, rel=0.01)
+
+    def test_gpt3_attention_heavier_than_llama(self):
+        """Per-SM-equal clusters: GPT-3's decode attention reads ~12x more."""
+        gpt3 = decode_stage_costs(TensorParallel(GPT3_175B, 8), 32, 1750, POLICY)
+        llama = decode_stage_costs(TensorParallel(LLAMA3_70B, 8), 32, 1750, POLICY)
+        assert gpt3.layer_stages[1].mem_bytes > 8 * llama.layer_stages[1].mem_bytes
+
+    def test_lm_head_gathers_logits(self):
+        costs = decode_stage_costs(TensorParallel(LLAMA3_70B, 8), 16, 1750, POLICY)
+        (op, size), = costs.tail_stages[0].comm
+        assert op == "all_gather"
+        assert size == 16 * LLAMA3_70B.vocab * POLICY.act_bytes
+
+
+class TestTotals:
+    def test_phase_totals_positive(self):
+        costs = decode_stage_costs(TensorParallel(LLAMA3_70B, 8), 8, 1750, POLICY)
+        totals = phase_totals(costs)
+        assert totals["flops"] > 0
+        assert totals["mem_bytes"] > 0
+        assert totals["comm_logical_bytes"] > 0
+
+
+class TestProperties:
+    @given(batch=st.integers(1, 256), degree=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_flops_scale_linearly_with_batch(self, batch, degree):
+        tp = TensorParallel(LLAMA3_70B, degree)
+        one = decode_stage_costs(tp, 1, 1750, POLICY)
+        many = decode_stage_costs(tp, batch, 1750, POLICY)
+        for s1, sb in zip(one.layer_stages, many.layer_stages):
+            assert sb.flops == pytest.approx(batch * s1.flops, rel=1e-9)
+
+    @given(degree=st.sampled_from([1, 2, 4, 8, 16, 32]))
+    @settings(max_examples=20, deadline=None)
+    def test_per_gpu_flops_shrink_with_degree(self, degree):
+        tp = TensorParallel(LLAMA3_70B, degree)
+        costs = prefill_stage_costs(tp, 1, 1500, POLICY)
+        total = phase_totals(costs)["flops"] * degree
+        base = phase_totals(prefill_stage_costs(TensorParallel(LLAMA3_70B, 1), 1, 1500, POLICY))["flops"]
+        assert total == pytest.approx(base, rel=1e-6)

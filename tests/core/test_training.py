@@ -1,0 +1,102 @@
+"""Distributed-training model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.training import (
+    TrainingConfig,
+    equivalent_lite_training,
+    train_step,
+)
+from repro.errors import InfeasibleError, SpecError
+from repro.hardware.gpu import H100, LITE, LITE_NETBW
+from repro.workloads.models import LLAMA3_8B, LLAMA3_70B
+
+
+class TestConfig:
+    def test_defaults_and_derived(self):
+        cfg = TrainingConfig(data_parallel=8, tensor=4, micro_batch=2)
+        assert cfg.n_gpus == 32
+        assert cfg.global_batch == 16
+        assert cfg.microbatches_per_rank == 1
+        assert cfg.tokens_per_step == 16 * 4096
+
+    def test_gradient_accumulation(self):
+        cfg = TrainingConfig(data_parallel=4, tensor=2, micro_batch=1, global_batch=32)
+        assert cfg.microbatches_per_rank == 8
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            TrainingConfig(data_parallel=0, tensor=1)
+        with pytest.raises(SpecError):
+            TrainingConfig(data_parallel=2, tensor=1, micro_batch=2, global_batch=5)
+        with pytest.raises(SpecError):
+            TrainingConfig(data_parallel=1, tensor=1, zero_stage=4)
+
+
+class TestTrainStep:
+    def test_basic_run(self):
+        cfg = TrainingConfig(data_parallel=8, tensor=4, micro_batch=1)
+        result = train_step(LLAMA3_8B, H100, cfg)
+        assert result.fits_memory
+        assert 0.0 < result.mfu < 1.0
+        assert result.tokens_per_s > 0
+
+    def test_zero_sharding_shrinks_memory(self):
+        base = TrainingConfig(data_parallel=16, tensor=4, micro_batch=1, zero_stage=0)
+        sharded = TrainingConfig(data_parallel=16, tensor=4, micro_batch=1, zero_stage=1)
+        m0 = train_step(LLAMA3_70B, H100, base).mem_per_gpu
+        m1 = train_step(LLAMA3_70B, H100, sharded).mem_per_gpu
+        assert m1 < m0
+
+    def test_70b_needs_sharding_on_h100(self):
+        """16 B/param * 70e9 / tp8 = 140 GB: without ZeRO it cannot fit."""
+        cfg = TrainingConfig(data_parallel=8, tensor=8, micro_batch=1, zero_stage=0)
+        assert not train_step(LLAMA3_70B, H100, cfg).fits_memory
+        cfg1 = TrainingConfig(data_parallel=8, tensor=8, micro_batch=1, zero_stage=1)
+        assert train_step(LLAMA3_70B, H100, cfg1).fits_memory
+
+    def test_longer_sequences_raise_step_time(self):
+        short = TrainingConfig(data_parallel=4, tensor=4, micro_batch=1, seq_len=2048)
+        long = TrainingConfig(data_parallel=4, tensor=4, micro_batch=1, seq_len=8192)
+        t_short = train_step(LLAMA3_8B, H100, short).step_time
+        t_long = train_step(LLAMA3_8B, H100, long).step_time
+        assert t_long > t_short
+
+    def test_mfu_realistic_band(self):
+        """A healthy small-scale H100 job lands in the 0.3-0.7 MFU band."""
+        cfg = TrainingConfig(data_parallel=8, tensor=8, micro_batch=1, global_batch=64)
+        result = train_step(LLAMA3_70B, H100, cfg)
+        assert 0.3 < result.mfu < 0.7
+
+
+class TestLiteTraining:
+    def test_equivalent_layout(self):
+        h100 = TrainingConfig(data_parallel=8, tensor=8, micro_batch=1)
+        lite = equivalent_lite_training(LLAMA3_70B, h100, LITE)
+        assert lite.tensor == 32
+        assert lite.n_gpus == 4 * h100.n_gpus
+        assert lite.global_batch == h100.global_batch
+
+    def test_head_divisibility_enforced(self):
+        h100 = TrainingConfig(data_parallel=1, tensor=32, micro_batch=1)
+        with pytest.raises(InfeasibleError):
+            equivalent_lite_training(LLAMA3_70B, h100, LITE)  # tp 128 > 64 heads ok? 128 divides... use bigger
+        # (Llama3-70B has 64 heads; tp 128 is invalid.)
+
+    def test_lite_training_pays_collective_tax(self):
+        """The extension finding: training (long sequences, big activation
+        all-reduces) is where high-degree Lite TP hurts most."""
+        h100_cfg = TrainingConfig(data_parallel=8, tensor=8, micro_batch=1, global_batch=64)
+        lite_cfg = equivalent_lite_training(LLAMA3_70B, h100_cfg, LITE)
+        h100 = train_step(LLAMA3_70B, H100, h100_cfg)
+        lite = train_step(LLAMA3_70B, LITE, lite_cfg)
+        assert lite.tokens_per_s_per_sm < 0.8 * h100.tokens_per_s_per_sm
+
+    def test_network_bandwidth_recovers_some(self):
+        h100_cfg = TrainingConfig(data_parallel=8, tensor=8, micro_batch=1, global_batch=64)
+        lite_cfg = equivalent_lite_training(LLAMA3_70B, h100_cfg, LITE)
+        lite = train_step(LLAMA3_70B, LITE, lite_cfg)
+        lite_net = train_step(LLAMA3_70B, LITE_NETBW, lite_cfg)
+        assert lite_net.tokens_per_s_per_sm > lite.tokens_per_s_per_sm

@@ -1,0 +1,97 @@
+"""Cooling/thermal model tests — Section 2's cooling argument."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecError
+from repro.hardware.cooling import (
+    CoolingKind,
+    CoolingModel,
+    ThermalEnvironment,
+    rack_cooling_requirement,
+)
+from repro.hardware.gpu import H100, LITE
+
+
+class TestThermalEnvironment:
+    def test_budget(self):
+        env = ThermalEnvironment(ambient_c=35.0, junction_limit_c=90.0)
+        assert env.budget_k == 55.0
+
+    def test_rejects_inverted_limits(self):
+        with pytest.raises(SpecError):
+            ThermalEnvironment(ambient_c=90.0, junction_limit_c=35.0)
+
+
+class TestThermalResistance:
+    def test_resistance_rises_for_small_dies(self):
+        model = CoolingModel()
+        assert model.thermal_resistance(200.0) > model.thermal_resistance(800.0)
+
+    def test_liquid_beats_air(self):
+        air = CoolingModel(CoolingKind.AIR)
+        liquid = CoolingModel(CoolingKind.LIQUID_COLD_PLATE)
+        assert liquid.thermal_resistance(800.0) < air.thermal_resistance(800.0)
+
+    def test_rejects_nonpositive_area(self):
+        with pytest.raises(SpecError):
+            CoolingModel().thermal_resistance(0.0)
+
+
+class TestPaperClaims:
+    def test_h100_needs_liquid_lite_runs_on_air(self):
+        """Section 2: smaller single-die GPUs can be air-cooled separately."""
+        air = CoolingModel(CoolingKind.AIR)
+        assert not air.can_cool(H100)
+        assert air.can_cool(LITE)
+
+    def test_lite_junction_cooler_than_h100(self):
+        """Area/4 doubles resistance but TDP/4 halves the temperature rise."""
+        air = CoolingModel(CoolingKind.AIR)
+        assert air.junction_temp(LITE) < air.junction_temp(H100)
+
+    def test_h100_throttles_on_air(self):
+        air = CoolingModel(CoolingKind.AIR)
+        assert air.throttle_factor(H100) < 1.0
+
+    def test_lite_overclock_headroom_covers_10_percent(self):
+        """The +FLOPS variant's overclock must fit the air envelope."""
+        air = CoolingModel(CoolingKind.AIR)
+        assert air.overclock_headroom(LITE) >= 1.10
+
+    def test_liquid_cools_h100(self):
+        assert CoolingModel(CoolingKind.LIQUID_COLD_PLATE).can_cool(H100)
+
+
+class TestRackCooling:
+    def test_dense_h100_rack_needs_liquid(self):
+        assert rack_cooling_requirement(H100, 72) is CoolingKind.LIQUID_COLD_PLATE
+
+    def test_lite_rack_runs_on_air(self):
+        """Same compute per rack (4x the devices), air-coolable — the
+        Section 3 'eliminate liquid cooling racks' argument."""
+        assert rack_cooling_requirement(LITE, 72) is CoolingKind.AIR
+
+    def test_rejects_empty_rack(self):
+        with pytest.raises(SpecError):
+            rack_cooling_requirement(H100, 0)
+
+
+class TestJunctionMath:
+    def test_junction_temp_linear_in_power(self):
+        model = CoolingModel(CoolingKind.LIQUID_COLD_PLATE)
+        t1 = model.junction_temp(H100, 350.0)
+        t2 = model.junction_temp(H100, 700.0)
+        rise1 = t1 - model.env.ambient_c
+        rise2 = t2 - model.env.ambient_c
+        assert rise2 == pytest.approx(2 * rise1)
+
+    def test_max_power_at_junction_limit(self):
+        model = CoolingModel(CoolingKind.LIQUID_COLD_PLATE)
+        power = model.max_power(H100)
+        assert model.junction_temp(H100, power) == pytest.approx(model.env.junction_limit_c)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(SpecError):
+            CoolingModel().junction_temp(H100, -1.0)

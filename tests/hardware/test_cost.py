@@ -1,0 +1,76 @@
+"""Manufacturing-cost model tests — Section 2's ~50% claim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecError
+from repro.hardware.cost import CostBreakdown, CostModel, PackagingTier
+
+
+class TestCostBreakdown:
+    def test_total_sums_components(self):
+        bd = CostBreakdown(silicon=100, packaging=50, memory=200, test=10)
+        assert bd.total == 360
+
+    def test_scaled(self):
+        bd = CostBreakdown(1, 2, 3, 4).scaled(2)
+        assert (bd.silicon, bd.packaging, bd.memory, bd.test) == (2, 4, 6, 8)
+
+    def test_add(self):
+        a = CostBreakdown(1, 1, 1, 1)
+        b = CostBreakdown(2, 2, 2, 2)
+        assert (a + b).total == 12
+
+
+class TestPackageCost:
+    def test_silicon_cost_falls_with_split(self):
+        cm = CostModel()
+        h100 = cm.package_cost(814.0, 80.0)
+        four_lite = cm.package_cost(814.0 / 4, 20.0).scaled(4)
+        assert four_lite.silicon < h100.silicon
+
+    def test_memory_cost_is_capacity_neutral(self):
+        cm = CostModel()
+        h100 = cm.package_cost(814.0, 80.0)
+        four_lite = cm.package_cost(814.0 / 4, 20.0).scaled(4)
+        assert four_lite.memory == pytest.approx(h100.memory)
+
+    def test_advanced_packaging_most_expensive(self):
+        cm = CostModel()
+        std = cm.packaging_cost(800.0, PackagingTier.STANDARD)
+        interposer = cm.packaging_cost(800.0, PackagingTier.INTERPOSER_2_5D)
+        advanced = cm.packaging_cost(800.0, PackagingTier.ADVANCED_MULTI_DIE)
+        assert std < interposer < advanced
+
+    def test_multi_die_packages_pay_per_die_silicon(self):
+        cm = CostModel()
+        dual = cm.package_cost(800.0, 192.0, PackagingTier.ADVANCED_MULTI_DIE, compute_dies=2)
+        single = cm.package_cost(800.0, 192.0, PackagingTier.ADVANCED_MULTI_DIE, compute_dies=1)
+        assert dual.silicon == pytest.approx(2 * single.silicon)
+
+    def test_validation(self):
+        cm = CostModel()
+        with pytest.raises(SpecError):
+            cm.package_cost(814.0, -1.0)
+        with pytest.raises(SpecError):
+            cm.package_cost(814.0, 80.0, compute_dies=0)
+
+
+class TestPaperClaims:
+    def test_silicon_cost_reduction_near_50_percent(self):
+        """Section 2: 'almost 50% reduction in manufacturing cost'."""
+        reduction = CostModel().cost_reduction()
+        assert reduction == pytest.approx(0.5, abs=0.1)
+
+    def test_full_package_reduction_smaller_but_positive(self):
+        """With HBM and packaging included, the saving shrinks (HBM is
+        capacity-neutral) but stays positive."""
+        full = CostModel().cost_reduction(silicon_only=False)
+        silicon_only = CostModel().cost_reduction(silicon_only=True)
+        assert 0.0 < full < silicon_only
+
+    def test_equivalent_compute_cost_returns_both(self):
+        parent, lite = CostModel().equivalent_compute_cost(814.0, 4, 80.0)
+        assert lite.silicon < parent.silicon
+        assert lite.total < parent.total

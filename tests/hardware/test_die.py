@@ -1,0 +1,100 @@
+"""Die geometry and shoreline tests — the Section 2 geometric argument."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.hardware.die import RETICLE_LIMIT_MM2, DieSpec, shoreline_ratio
+
+
+class TestGeometry:
+    def test_width_height_area_consistent(self):
+        die = DieSpec(area_mm2=814.0)
+        assert die.width_mm * die.height_mm == pytest.approx(814.0)
+
+    def test_aspect_respected(self):
+        die = DieSpec(area_mm2=100.0, aspect=4.0)
+        assert die.width_mm / die.height_mm == pytest.approx(4.0)
+
+    def test_square_die(self):
+        die = DieSpec(area_mm2=100.0, aspect=1.0)
+        assert die.width_mm == pytest.approx(10.0)
+        assert die.perimeter_mm == pytest.approx(40.0)
+
+    def test_rejects_bad_area_and_aspect(self):
+        with pytest.raises(SpecError):
+            DieSpec(area_mm2=0.0)
+        with pytest.raises(SpecError):
+            DieSpec(area_mm2=100.0, aspect=0.5)
+
+
+class TestReticle:
+    def test_h100_within_reticle(self):
+        assert DieSpec(814.0).within_reticle
+
+    def test_oversized_die_exceeds_reticle(self):
+        assert not DieSpec(RETICLE_LIMIT_MM2 + 1).within_reticle
+
+
+class TestSplit:
+    def test_split_divides_area(self):
+        quarter = DieSpec(814.0).split(4)
+        assert quarter.area_mm2 == pytest.approx(814.0 / 4)
+
+    def test_split_preserves_aspect(self):
+        die = DieSpec(814.0, aspect=1.5)
+        assert die.split(4).aspect == 1.5
+
+    def test_split_rejects_nonpositive(self):
+        with pytest.raises(SpecError):
+            DieSpec(814.0).split(0)
+
+    def test_quarter_has_half_perimeter(self):
+        """Linear dimensions scale by 1/2 at area/4."""
+        die = DieSpec(814.0)
+        assert die.split(4).perimeter_mm == pytest.approx(die.perimeter_mm / 2)
+
+
+class TestShoreline:
+    def test_paper_claim_4way_split_doubles_shoreline(self):
+        """Section 2: 'reducing the die area to 1/4th doubles the perimeter'."""
+        assert shoreline_ratio(4) == pytest.approx(2.0)
+
+    def test_shoreline_ratio_sqrt_law(self):
+        assert shoreline_ratio(16) == pytest.approx(4.0)
+        assert shoreline_ratio(1) == 1.0
+
+    def test_shoreline_per_area_increases_when_split(self):
+        die = DieSpec(814.0)
+        assert die.split(4).shoreline_per_area > die.shoreline_per_area
+
+    def test_max_shoreline_bandwidth_scales_with_density(self):
+        die = DieSpec(814.0)
+        assert die.max_shoreline_bandwidth(200.0) == pytest.approx(
+            2 * die.max_shoreline_bandwidth(100.0)
+        )
+
+    def test_bandwidth_rejects_nonpositive_density(self):
+        with pytest.raises(SpecError):
+            DieSpec(814.0).max_shoreline_bandwidth(0.0)
+
+
+class TestProperties:
+    @given(area=st.floats(1.0, 5000.0), parts=st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_total_split_perimeter_matches_sqrt_law(self, area, parts):
+        die = DieSpec(area)
+        total = die.split(parts).perimeter_mm * parts
+        assert total == pytest.approx(die.perimeter_mm * math.sqrt(parts))
+
+    @given(area=st.floats(1.0, 5000.0), aspect=st.floats(1.0, 5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_perimeter_minimal_for_square(self, area, aspect):
+        rect = DieSpec(area, aspect=aspect)
+        square = DieSpec(area, aspect=1.0)
+        assert rect.perimeter_mm >= square.perimeter_mm - 1e-9

@@ -1,0 +1,69 @@
+"""Figure 1 dataset tests — the trends the paper's motivation cites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecError
+from repro.hardware.die import RETICLE_LIMIT_MM2
+from repro.hardware.evolution import GPU_GENERATIONS, evolution_trends, generation
+
+
+class TestDataset:
+    def test_chronological_order(self):
+        years = [g.year for g in GPU_GENERATIONS]
+        assert years == sorted(years)
+
+    def test_known_generations_present(self):
+        names = {g.name for g in GPU_GENERATIONS}
+        assert {"V100", "A100", "H100", "B200"} <= names
+
+    def test_lookup(self):
+        assert generation("h100").year == 2022
+
+    def test_unknown_generation(self):
+        with pytest.raises(SpecError):
+            generation("RTX4090")
+
+
+class TestTrends:
+    def test_single_die_area_saturated_at_reticle(self):
+        """The core motivation: per-die area stopped growing (reticle wall)."""
+        recent = [g for g in GPU_GENERATIONS if g.year >= 2017]
+        for gen in recent:
+            assert gen.die_area_mm2 <= RETICLE_LIMIT_MM2
+        v100 = generation("V100")
+        h100 = generation("H100")
+        assert abs(h100.die_area_mm2 - v100.die_area_mm2) / v100.die_area_mm2 < 0.05
+
+    def test_transistors_keep_climbing(self):
+        counts = [g.transistors_b for g in GPU_GENERATIONS]
+        assert counts == sorted(counts)
+        assert counts[-1] / counts[0] > 10
+
+    def test_packaging_absorbs_growth(self):
+        """B200 doubled packaged silicon via dies, not die size."""
+        b200 = generation("B200")
+        assert b200.compute_dies == 2
+        assert b200.die_area_mm2 <= RETICLE_LIMIT_MM2
+
+    def test_power_density_rises(self):
+        v100 = generation("V100")
+        h100 = generation("H100")
+        assert h100.power_density_w_mm2 > v100.power_density_w_mm2
+
+    def test_trend_summary_fields(self):
+        trends = evolution_trends()
+        assert trends["transistor_growth"] > 10
+        assert trends["per_die_area_growth"] < 1.5
+        assert trends["tdp_growth"] > 3
+        assert trends["dies_per_package_growth"] == 2.0
+
+    def test_mem_bw_per_area_motivates_shoreline(self):
+        """Bandwidth per packaged area grew slower than compute density —
+        the shoreline squeeze (H100 vs P100)."""
+        p100 = generation("P100")
+        h100 = generation("H100")
+        density_growth = h100.transistor_density_m_mm2 / p100.transistor_density_m_mm2
+        bw_growth = h100.bw_per_area / p100.bw_per_area
+        assert density_growth > bw_growth

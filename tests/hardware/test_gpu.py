@@ -1,0 +1,129 @@
+"""GPU catalogue tests — Table 1 exactly as printed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RegistryError, SpecError
+from repro.hardware.die import DieSpec
+from repro.hardware.gpu import (
+    GPU_TYPES,
+    GPUSpec,
+    H100,
+    LITE,
+    LITE_MEMBW,
+    LITE_MEMBW_NETBW,
+    LITE_NETBW,
+    LITE_NETBW_FLOPS,
+    TABLE1_ORDER,
+    get_gpu,
+)
+from repro.units import GB, GB_PER_S, TFLOPS
+
+
+#: (gpu, tflops, cap_gb, mem_bw, net_bw, max_gpus) — Table 1 verbatim.
+TABLE1 = [
+    (H100, 2000, 80, 3352, 450.0, 8),
+    (LITE, 500, 20, 838, 112.5, 32),
+    (LITE_NETBW, 500, 20, 838, 225.0, 32),
+    (LITE_NETBW_FLOPS, 550, 20, 419, 225.0, 32),
+    (LITE_MEMBW, 500, 20, 1675, 112.5, 32),
+    (LITE_MEMBW_NETBW, 500, 20, 1675, 225.0, 32),
+]
+
+
+class TestTable1:
+    @pytest.mark.parametrize("gpu,tflops,cap,mem,net,maxg", TABLE1, ids=lambda v: getattr(v, "name", v))
+    def test_rows_match_paper(self, gpu, tflops, cap, mem, net, maxg):
+        assert gpu.peak_flops == tflops * TFLOPS
+        assert gpu.mem_capacity == cap * GB
+        assert gpu.mem_bandwidth == mem * GB_PER_S
+        assert gpu.net_bandwidth == net * GB_PER_S
+        assert gpu.max_cluster == maxg
+
+    def test_order_matches_paper(self):
+        assert [g.name for g in TABLE1_ORDER] == [
+            "H100", "Lite", "Lite+NetBW", "Lite+NetBW+FLOPS", "Lite+MemBW", "Lite+MemBW+NetBW",
+        ]
+
+    def test_h100_sm_count(self):
+        assert H100.sms == 132
+
+    def test_lite_is_quarter_h100(self):
+        assert LITE.peak_flops * 4 == H100.peak_flops
+        assert LITE.mem_capacity * 4 == H100.mem_capacity
+        assert LITE.net_bandwidth * 4 == H100.net_bandwidth
+        assert LITE.max_cluster == 4 * H100.max_cluster
+
+    def test_lite_sms_match_total(self):
+        """32 Lite GPUs carry the same SMs as 8 H100s (Section 4)."""
+        assert 32 * LITE.sms == 8 * H100.sms
+
+
+class TestDerivedMetrics:
+    def test_membw_variant_doubles_bytes_per_flop(self):
+        # Table 1 rounds 1676 GB/s down to 1675, hence the loose tolerance.
+        assert LITE_MEMBW.mem_bytes_per_flop == pytest.approx(
+            2 * H100.mem_bytes_per_flop, rel=1e-3
+        )
+
+    def test_lite_base_matches_h100_ratio(self):
+        assert LITE.mem_bytes_per_flop == pytest.approx(H100.mem_bytes_per_flop)
+
+    def test_ridge_point_positive(self):
+        for gpu in TABLE1_ORDER:
+            assert gpu.ridge_intensity > 0
+
+    def test_hbm_seconds_invariant(self):
+        """capacity/bandwidth is the same for H100 and base Lite — the
+        full-memory decode-iteration invariant."""
+        assert LITE.hbm_seconds == pytest.approx(H100.hbm_seconds)
+
+    def test_power_density_equal_for_pure_split(self):
+        assert LITE.power_density_w_mm2 == pytest.approx(H100.power_density_w_mm2)
+
+    def test_scaleup_domains(self):
+        assert H100.scaleup_domain == 8
+        assert LITE.scaleup_domain == 4
+
+    def test_lite_mesh_bandwidth_is_three_links(self):
+        assert LITE.mesh_bandwidth == pytest.approx(3 * LITE.net_bandwidth)
+
+    def test_h100_mesh_defaults_to_net(self):
+        assert H100.mesh_bandwidth == H100.net_bandwidth
+
+
+class TestClockScaling:
+    def test_with_clock_factor(self):
+        boosted = H100.with_clock_factor(1.1)
+        assert boosted.peak_flops == pytest.approx(1.1 * H100.peak_flops)
+        assert boosted.mem_bandwidth == H100.mem_bandwidth
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(SpecError):
+            H100.with_clock_factor(0.0)
+
+
+class TestRegistry:
+    def test_lookup_variants(self):
+        assert get_gpu("lite+membw") is LITE_MEMBW
+        assert get_gpu("H100") is H100
+
+    def test_unknown_gpu(self):
+        with pytest.raises(RegistryError):
+            get_gpu("B300")
+
+    def test_registry_size(self):
+        assert len(GPU_TYPES) == 6
+
+
+class TestValidation:
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(SpecError):
+            GPUSpec(
+                name="bad", peak_flops=0, mem_capacity=1, mem_bandwidth=1,
+                net_bandwidth=1, sms=1, max_cluster=1, die=DieSpec(100.0), tdp=1,
+            )
+
+    def test_describe_contains_name(self):
+        assert "H100" in H100.describe()

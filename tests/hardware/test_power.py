@@ -1,0 +1,151 @@
+"""Power/DVFS model tests — the Section 3 granularity argument."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.hardware.gpu import H100, LITE
+from repro.hardware.power import (
+    ClockPolicy,
+    DVFSCurve,
+    PowerModel,
+    diurnal_load_profile,
+)
+
+
+class TestDVFSCurve:
+    def test_full_clock_full_power(self):
+        assert DVFSCurve().power_ratio(1.0) == pytest.approx(1.0)
+
+    def test_gated_draws_nothing(self):
+        assert DVFSCurve().power_ratio(0.0) == 0.0
+
+    def test_static_floor_at_min_clock(self):
+        curve = DVFSCurve(static_fraction=0.25, min_clock_ratio=0.4)
+        floor = curve.power_ratio(0.01)
+        assert floor == curve.power_ratio(0.4)
+        assert floor > 0.25
+
+    def test_superlinear_in_clock(self):
+        curve = DVFSCurve()
+        assert curve.power_ratio(1.2) > 1.2  # overclock costs superlinearly
+
+    def test_clock_for_throughput_clamped(self):
+        curve = DVFSCurve(min_clock_ratio=0.4)
+        assert curve.clock_for_throughput(0.1) == 0.4
+        assert curve.clock_for_throughput(0.9) == 0.9
+        assert curve.clock_for_throughput(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            DVFSCurve(exponent=0.5)
+        with pytest.raises(SpecError):
+            DVFSCurve(static_fraction=1.0)
+        with pytest.raises(SpecError):
+            DVFSCurve().power_ratio(-0.1)
+
+
+class TestPowerModel:
+    def test_peak_power(self):
+        assert PowerModel(H100, 8).peak_power == 8 * H100.tdp
+
+    def test_always_base_ignores_load(self):
+        model = PowerModel(H100, 8)
+        p_low = model.power_at_load(0.1, ClockPolicy.ALWAYS_BASE)
+        p_high = model.power_at_load(0.9, ClockPolicy.ALWAYS_BASE)
+        assert p_low == p_high == model.peak_power
+
+    def test_policies_ordered_at_partial_load(self):
+        """gate+dvfs <= gate <= base at fractional load."""
+        model = PowerModel(LITE, 32)
+        base = model.power_at_load(0.3, ClockPolicy.ALWAYS_BASE)
+        gate = model.power_at_load(0.3, ClockPolicy.POWER_GATE)
+        gate_dvfs = model.power_at_load(0.3, ClockPolicy.GATE_PLUS_DVFS)
+        assert gate_dvfs <= gate <= base
+
+    def test_power_gating_beats_uniform_dvfs_at_low_load(self):
+        """The headline Lite advantage: gating kills static power."""
+        model = PowerModel(LITE, 32)
+        uniform = model.power_at_load(0.15, ClockPolicy.UNIFORM_DVFS)
+        gated = model.power_at_load(0.15, ClockPolicy.POWER_GATE)
+        assert gated < uniform
+
+    def test_full_load_equal_across_policies(self):
+        model = PowerModel(LITE, 32)
+        powers = {
+            policy: model.power_at_load(1.0, policy)
+            for policy in (ClockPolicy.ALWAYS_BASE, ClockPolicy.UNIFORM_DVFS, ClockPolicy.POWER_GATE)
+        }
+        assert len({round(p, 6) for p in powers.values()}) == 1
+
+    def test_overclock_load_above_one(self):
+        model = PowerModel(LITE, 32)
+        p = model.power_at_load(1.2, ClockPolicy.ALWAYS_BASE)
+        assert p > model.peak_power
+
+    def test_finer_granularity_saves_more(self):
+        """32 Lite GPUs power-gate closer to demand than 8 H100s."""
+        loads = diurnal_load_profile(samples=96, low=0.2, high=0.9)
+        h100 = PowerModel(H100, 8)
+        lite = PowerModel(LITE, 32)
+        s_h100 = h100.savings_vs_base(loads, 900.0, ClockPolicy.POWER_GATE)
+        s_lite = lite.savings_vs_base(loads, 900.0, ClockPolicy.POWER_GATE)
+        assert s_lite > s_h100
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(SpecError):
+            PowerModel(H100, 8).power_at_load(-0.1, ClockPolicy.ALWAYS_BASE)
+
+
+class TestDiurnalProfile:
+    def test_bounds_and_length(self):
+        profile = diurnal_load_profile(samples=48, low=0.3, high=0.8)
+        assert len(profile) == 48
+        assert profile.min() >= 0.0 and profile.max() <= 1.0
+
+    def test_peak_near_peak_hour(self):
+        profile = diurnal_load_profile(samples=96, peak_hour=14.0)
+        peak_idx = int(np.argmax(profile))
+        assert abs(peak_idx / 96 * 24 - 14.0) < 1.0
+
+    def test_noise_reproducible(self):
+        a = diurnal_load_profile(seed=3, noise=0.05)
+        b = diurnal_load_profile(seed=3, noise=0.05)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            diurnal_load_profile(samples=0)
+        with pytest.raises(SpecError):
+            diurnal_load_profile(low=0.9, high=0.5)
+
+
+class TestProperties:
+    @given(load=st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_gating_never_beats_demand_floor(self, load):
+        """No policy can beat the dynamic energy of the demanded work at
+        the most efficient admissible clock (min_clock_ratio)."""
+        model = PowerModel(LITE, 32)
+        curve = model.curve
+        best_per_op = (1 - curve.static_fraction) * curve.min_clock_ratio ** (
+            curve.exponent - 1.0
+        )
+        for policy in (ClockPolicy.POWER_GATE, ClockPolicy.GATE_PLUS_DVFS, ClockPolicy.UNIFORM_DVFS):
+            power = model.power_at_load(load, policy)
+            floor = load * model.count * model.gpu.tdp * best_per_op
+            assert power >= floor - 1e-6
+
+    @given(load=st.floats(0.01, 1.0), count=st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_power_monotone_in_policy_strictness(self, load, count):
+        model = PowerModel(LITE, count)
+        base = model.power_at_load(load, ClockPolicy.ALWAYS_BASE)
+        gate = model.power_at_load(load, ClockPolicy.POWER_GATE)
+        gate_dvfs = model.power_at_load(load, ClockPolicy.GATE_PLUS_DVFS)
+        assert gate_dvfs <= gate + 1e-9
+        assert gate <= base + 1e-9

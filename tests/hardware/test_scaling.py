@@ -1,0 +1,106 @@
+"""Lite-GPU derivation tests — the Figure 2 construction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.hardware.gpu import H100, LITE
+from repro.hardware.scaling import (
+    LiteScaling,
+    derive_lite_gpu,
+    group_properties,
+    max_overclock_from_power_density,
+)
+
+
+class TestDeriveLite:
+    def test_basic_quarter_split_matches_table1(self):
+        lite = derive_lite_gpu(H100, LiteScaling(split=4))
+        assert lite.peak_flops == pytest.approx(LITE.peak_flops)
+        assert lite.mem_capacity == pytest.approx(LITE.mem_capacity)
+        assert lite.mem_bandwidth == pytest.approx(LITE.mem_bandwidth)
+        assert lite.net_bandwidth == pytest.approx(LITE.net_bandwidth)
+        assert lite.sms == LITE.sms
+        assert lite.max_cluster == LITE.max_cluster
+
+    def test_membw_boost_matches_table1_variant(self):
+        lite = derive_lite_gpu(H100, LiteScaling(split=4, mem_bw_boost=2.0))
+        assert lite.mem_bandwidth == pytest.approx(1676e9, rel=0.001)
+
+    def test_overclock_scales_flops_and_tdp(self):
+        base = derive_lite_gpu(H100, LiteScaling(split=4))
+        fast = derive_lite_gpu(H100, LiteScaling(split=4, clock_factor=1.1))
+        assert fast.peak_flops == pytest.approx(1.1 * base.peak_flops)
+        assert fast.tdp > base.tdp
+
+    def test_die_area_divided(self):
+        lite = derive_lite_gpu(H100, LiteScaling(split=4))
+        assert lite.die.area_mm2 == pytest.approx(H100.die.area_mm2 / 4)
+
+
+class TestShorelineBudget:
+    def test_pure_split_within_budget(self):
+        LiteScaling(split=4).validate(H100)  # must not raise
+
+    def test_double_membw_within_budget(self):
+        """The Lite+MemBW variant must be physically buildable."""
+        LiteScaling(split=4, mem_bw_boost=2.0).validate(H100)
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(SpecError, match="shoreline"):
+            LiteScaling(split=4, mem_bw_boost=3.0).validate(H100)
+
+    def test_demand_scales_with_boost(self):
+        low = LiteScaling(split=4, mem_bw_boost=1.0).shoreline_demand(H100)
+        high = LiteScaling(split=4, mem_bw_boost=2.0).shoreline_demand(H100)
+        assert high > low
+
+    def test_shoreline_gain_is_sqrt_split(self):
+        assert LiteScaling(split=9).shoreline_gain == pytest.approx(3.0)
+
+
+class TestGroupProperties:
+    def test_group_conserves_flops(self):
+        props = group_properties(H100, LiteScaling(split=4))
+        assert props["total_flops"] == pytest.approx(H100.peak_flops)
+
+    def test_group_doubles_shoreline(self):
+        props = group_properties(H100, LiteScaling(split=4))
+        assert props["shoreline_gain"] == pytest.approx(2.0)
+
+    def test_group_conserves_capacity_and_tdp(self):
+        props = group_properties(H100, LiteScaling(split=4))
+        assert props["total_capacity"] == pytest.approx(H100.mem_capacity)
+        assert props["total_tdp"] == pytest.approx(H100.tdp)
+
+    def test_membw_boost_raises_bw_to_compute(self):
+        props = group_properties(H100, LiteScaling(split=4, mem_bw_boost=2.0))
+        assert props["bw_to_compute_gain"] == pytest.approx(2.0)
+
+
+class TestOverclockHeadroom:
+    def test_headroom_grows_with_split(self):
+        small = max_overclock_from_power_density(H100, 4)
+        big = max_overclock_from_power_density(H100, 16)
+        assert big > small > 1.0
+
+    def test_paper_overclock_within_headroom(self):
+        """The +FLOPS variant's 10% overclock must be sustainable."""
+        assert max_overclock_from_power_density(H100, 4) >= 1.10
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(SpecError):
+            max_overclock_from_power_density(H100, 0)
+
+
+class TestProperties:
+    @given(split=st.sampled_from([2, 4, 8, 16]))
+    @settings(max_examples=20, deadline=None)
+    def test_aggregates_conserved_for_pure_split(self, split):
+        lite = derive_lite_gpu(H100, LiteScaling(split=split), validate_shoreline=False)
+        assert lite.peak_flops * split == pytest.approx(H100.peak_flops)
+        assert lite.mem_capacity * split == pytest.approx(H100.mem_capacity)
+        assert lite.tdp * split == pytest.approx(H100.tdp)

@@ -1,0 +1,89 @@
+"""TCO model tests — the paper's deferred cost-of-operation analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.search import search_best_config
+from repro.errors import SpecError
+from repro.hardware.gpu import H100, LITE_MEMBW
+from repro.hardware.tco import (
+    TCOAssumptions,
+    TCOBreakdown,
+    cluster_tco,
+    tokens_per_dollar_comparison,
+)
+from repro.workloads.models import LLAMA3_70B
+
+
+class TestAssumptions:
+    def test_defaults_valid(self):
+        TCOAssumptions()
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            TCOAssumptions(pue=0.9)
+        with pytest.raises(SpecError):
+            TCOAssumptions(utilization=0.0)
+        with pytest.raises(SpecError):
+            TCOAssumptions(maintenance_fraction_per_year=1.0)
+
+
+class TestBreakdown:
+    def test_components_sum(self):
+        bd = TCOBreakdown(1.0, 0.5, 0.25, 2.0, 0.25)
+        assert bd.capex_per_hour == 1.75
+        assert bd.opex_per_hour == 2.25
+        assert bd.total_per_hour == 4.0
+
+    def test_usd_per_mtoken(self):
+        bd = TCOBreakdown(1.0, 0.0, 0.0, 0.0, 0.0)
+        # $1/hour at 1M tokens/hour -> $1/Mtok
+        assert bd.usd_per_mtoken(1e6 / 3600.0) == pytest.approx(1.0)
+
+    def test_rejects_zero_throughput(self):
+        with pytest.raises(SpecError):
+            TCOBreakdown(1, 0, 0, 0, 0).usd_per_mtoken(0.0)
+
+
+class TestClusterTCO:
+    def test_positive_components(self):
+        bd = cluster_tco(ClusterSpec(H100, 8))
+        assert bd.gpu_capex > 0
+        assert bd.network_capex > 0
+        assert bd.power_opex > 0
+        assert bd.total_per_hour > 0
+
+    def test_gpu_capex_dominates(self):
+        """Sanity: for GPU clusters, the GPUs are the budget."""
+        bd = cluster_tco(ClusterSpec(H100, 64))
+        assert bd.gpu_capex > bd.network_capex
+        assert bd.gpu_capex > bd.power_opex
+
+    def test_electricity_price_moves_opex_only(self):
+        cheap = cluster_tco(ClusterSpec(H100, 8), TCOAssumptions(electricity_usd_per_kwh=0.04))
+        pricey = cluster_tco(ClusterSpec(H100, 8), TCOAssumptions(electricity_usd_per_kwh=0.16))
+        assert pricey.power_opex == pytest.approx(4 * cheap.power_opex)
+        assert pricey.gpu_capex == cheap.gpu_capex
+
+    def test_longer_amortization_cheaper_hours(self):
+        short = cluster_tco(ClusterSpec(H100, 8), TCOAssumptions(amortization_years=2))
+        long = cluster_tco(ClusterSpec(H100, 8), TCOAssumptions(amortization_years=6))
+        assert long.capex_per_hour < short.capex_per_hour
+
+
+class TestPaperBottomLine:
+    def test_lite_decode_wins_on_unit_economics(self):
+        """The viability question, answered with the library's own numbers:
+        Lite+MemBW decode delivers cheaper tokens than H100."""
+        h100_best = search_best_config(LLAMA3_70B, H100, "decode").best
+        lite_best = search_best_config(LLAMA3_70B, LITE_MEMBW, "decode").best
+        comparison = tokens_per_dollar_comparison(
+            ClusterSpec(H100, h100_best.n_gpus, "switched"),
+            ClusterSpec(LITE_MEMBW, lite_best.n_gpus, "circuit"),
+            h100_best.result.tokens_per_s,
+            lite_best.result.tokens_per_s,
+        )
+        assert comparison["lite_saving"] > 0.0
+        assert comparison["lite_usd_per_mtoken"] < comparison["h100_usd_per_mtoken"]

@@ -1,0 +1,83 @@
+"""Wafer geometry and economics tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.hardware.wafer import WaferSpec, dies_per_wafer, good_dies_per_wafer
+from repro.hardware.yieldmodel import YieldModel
+
+
+class TestDiesPerWafer:
+    def test_h100_class_die_count(self):
+        """~60-65 gross dies for a reticle-class die on 300 mm."""
+        assert 55 <= dies_per_wafer(814.0) <= 70
+
+    def test_small_dies_beat_linear_scaling(self):
+        """Edge loss shrinks with die size: 4x smaller dies -> >4x the dies."""
+        big = dies_per_wafer(814.0)
+        small = dies_per_wafer(814.0 / 4)
+        assert small > 4 * big
+
+    def test_larger_wafer_more_dies(self):
+        assert dies_per_wafer(400.0, 450.0) > dies_per_wafer(400.0, 300.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SpecError):
+            dies_per_wafer(0.0)
+        with pytest.raises(SpecError):
+            dies_per_wafer(100.0, 0.0)
+
+
+class TestGoodDies:
+    def test_good_dies_below_gross(self):
+        ym = YieldModel.murphy()
+        assert good_dies_per_wafer(814.0, ym) < dies_per_wafer(814.0)
+
+    def test_good_dies_scale_with_yield(self):
+        perfect = YieldModel.murphy(0.0)
+        lossy = YieldModel.murphy(0.3)
+        assert good_dies_per_wafer(400.0, perfect) > good_dies_per_wafer(400.0, lossy)
+
+
+class TestWaferSpec:
+    def test_cost_per_good_die_at_quarter_area(self):
+        """Four quarter dies cost about half of one big die (Section 2)."""
+        wafer = WaferSpec()
+        ym = YieldModel.murphy()
+        big = wafer.cost_per_good_die(814.0, ym)
+        four_small = 4 * wafer.cost_per_good_die(814.0 / 4, ym)
+        reduction = 1.0 - four_small / big
+        assert reduction == pytest.approx(0.5, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            WaferSpec(diameter_mm=0.0)
+        with pytest.raises(SpecError):
+            WaferSpec(cost_usd=-1.0)
+
+    def test_cost_undefined_when_no_good_dies(self):
+        wafer = WaferSpec()
+        hopeless = YieldModel.poisson(50.0)  # absurd defect density
+        with pytest.raises(SpecError):
+            wafer.cost_per_good_die(100000.0, hopeless)
+
+
+class TestProperties:
+    @given(area=st.floats(20.0, 2000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_dpw_between_bounds(self, area):
+        """Gross dies bounded by pure area ratio, above area ratio minus edge."""
+        import math
+
+        dpw = dies_per_wafer(area)
+        upper = math.pi * 150.0**2 / area
+        assert 0 <= dpw <= upper
+
+    @given(area=st.floats(20.0, 1000.0), factor=st.floats(1.2, 3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_dpw_decreasing_in_area(self, area, factor):
+        assert dies_per_wafer(area * factor) <= dies_per_wafer(area)

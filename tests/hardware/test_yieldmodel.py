@@ -1,0 +1,113 @@
+"""Yield-model tests — the paper's 1.8x claim and model invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.hardware.yieldmodel import (
+    YieldModel,
+    murphy_yield,
+    negative_binomial_yield,
+    poisson_yield,
+    seeds_yield,
+    yield_gain,
+)
+
+
+class TestPaperClaims:
+    def test_yield_gain_1_8x_at_quarter_area(self):
+        """Section 2: 'yield rate can be increased by 1.8x when a H100-like
+        compute die area is reduced by 1/4th' (Murphy, D0=0.1)."""
+        gain = yield_gain(814.0, 4)
+        assert gain == pytest.approx(1.8, abs=0.1)
+
+    def test_h100_yield_under_50_percent(self):
+        """A reticle-sized die on a 0.1/cm^2 process yields < 50%."""
+        assert murphy_yield(814.0) < 0.5
+
+    def test_lite_die_yield_above_80_percent(self):
+        assert murphy_yield(814.0 / 4) > 0.8
+
+
+class TestModelOrdering:
+    """Poisson <= Murphy <= negative binomial(alpha) <= Seeds for any die."""
+
+    @pytest.mark.parametrize("area", [50.0, 200.0, 814.0, 1600.0])
+    def test_ordering(self, area):
+        p = poisson_yield(area)
+        m = murphy_yield(area)
+        nb = negative_binomial_yield(area, alpha=3.0)
+        s = seeds_yield(area)
+        assert p <= m <= nb <= s
+
+    def test_negbin_limits(self):
+        """alpha -> inf approaches Poisson; alpha = 1 equals Seeds."""
+        area = 400.0
+        assert negative_binomial_yield(area, alpha=1.0) == pytest.approx(seeds_yield(area))
+        assert negative_binomial_yield(area, alpha=1e6) == pytest.approx(
+            poisson_yield(area), rel=1e-3
+        )
+
+
+class TestEdgeCases:
+    def test_zero_defect_density_is_perfect(self):
+        for fn in (poisson_yield, murphy_yield, seeds_yield):
+            assert fn(814.0, 0.0) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_area(self):
+        with pytest.raises(SpecError):
+            murphy_yield(0.0)
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(SpecError):
+            murphy_yield(814.0, -0.1)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(SpecError):
+            negative_binomial_yield(814.0, alpha=0.0)
+
+    def test_yield_gain_rejects_bad_split(self):
+        with pytest.raises(SpecError):
+            yield_gain(814.0, 0)
+
+
+class TestYieldModelClass:
+    def test_factories_name_models(self):
+        assert YieldModel.poisson().name == "poisson"
+        assert YieldModel.murphy().name == "murphy"
+        assert "alpha=2" in YieldModel.negative_binomial(alpha=2.0).name
+
+    def test_callable_matches_function(self):
+        ym = YieldModel.murphy(0.15)
+        assert ym(400.0) == pytest.approx(murphy_yield(400.0, 0.15))
+
+
+class TestProperties:
+    @given(
+        area=st.floats(1.0, 3000.0),
+        density=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_yields_bounded(self, area, density):
+        for fn in (poisson_yield, murphy_yield, seeds_yield):
+            y = fn(area, density)
+            assert 0.0 <= y <= 1.0
+
+    @given(
+        area=st.floats(10.0, 3000.0),
+        density=st.floats(0.01, 0.5),
+        factor=st.floats(1.1, 4.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_yield_decreases_with_area(self, area, density, factor):
+        for fn in (poisson_yield, murphy_yield, seeds_yield):
+            assert fn(area * factor, density) < fn(area, density)
+
+    @given(split=st.integers(2, 32), density=st.floats(0.02, 0.3))
+    @settings(max_examples=60, deadline=None)
+    def test_splitting_always_helps_yield(self, split, density):
+        model = YieldModel.murphy(density)
+        assert yield_gain(814.0, split, model) > 1.0

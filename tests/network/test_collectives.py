@@ -1,0 +1,146 @@
+"""Collective cost-model tests — alpha-beta invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.network.collectives import (
+    Collective,
+    all_gather_cost,
+    all_reduce_cost,
+    all_to_all_cost,
+    broadcast_cost,
+    cost_for,
+    reduce_scatter_cost,
+    total_traffic,
+)
+
+BW = 450e9
+ALPHA = 1e-6
+
+
+class TestAllReduce:
+    def test_single_rank_is_free(self):
+        assert all_reduce_cost(1e9, 1, BW).time == 0.0
+
+    def test_ring_formula(self):
+        cost = all_reduce_cost(1e6, 8, BW, ALPHA, algorithm="ring")
+        expected = 2 * 7 * ALPHA + 2 * (7 / 8) * 1e6 / BW
+        assert cost.time == pytest.approx(expected)
+
+    def test_tree_formula(self):
+        cost = all_reduce_cost(1e6, 8, BW, ALPHA, algorithm="tree")
+        expected = 2 * 3 * (ALPHA + 1e6 / BW)
+        assert cost.time == pytest.approx(expected)
+
+    def test_auto_picks_tree_for_tiny_messages(self):
+        cost = all_reduce_cost(64, 64, BW, ALPHA, algorithm="auto")
+        assert cost.algorithm == "tree"
+
+    def test_auto_picks_ring_for_huge_messages(self):
+        cost = all_reduce_cost(1e9, 8, BW, ALPHA, algorithm="auto")
+        assert cost.algorithm == "ring"
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(SpecError):
+            all_reduce_cost(1e6, 8, BW, ALPHA, algorithm="magic")
+
+    def test_lite_penalty_factor(self):
+        """The key Figure-3 physics: 4x the ranks at 1/4 the bandwidth
+        makes the ring bandwidth term ~4.4x longer."""
+        h100 = all_reduce_cost(16.8e6, 8, 450e9, 0.0, "ring").time
+        lite = all_reduce_cost(16.8e6, 32, 112.5e9, 0.0, "ring").time
+        assert lite / h100 == pytest.approx((31 / 32) / (7 / 8) * 4, rel=1e-6)
+
+
+class TestOtherCollectives:
+    def test_all_gather_half_of_all_reduce(self):
+        ar = all_reduce_cost(1e6, 8, BW, 0.0, "ring").time
+        ag = all_gather_cost(1e6, 8, BW, 0.0).time
+        assert ag == pytest.approx(ar / 2)
+
+    def test_reduce_scatter_equals_all_gather(self):
+        assert reduce_scatter_cost(1e6, 8, BW, ALPHA).time == pytest.approx(
+            all_gather_cost(1e6, 8, BW, ALPHA).time
+        )
+
+    def test_all_to_all(self):
+        cost = all_to_all_cost(1e6, 8, BW, ALPHA)
+        assert cost.time == pytest.approx(7 * ALPHA + (7 / 8) * 1e6 / BW)
+
+    def test_broadcast_log_depth(self):
+        cost = broadcast_cost(1e6, 8, BW, ALPHA)
+        assert cost.time == pytest.approx(3 * (ALPHA + 1e6 / BW))
+
+    def test_dispatch(self):
+        for op in Collective:
+            cost = cost_for(op, 1e6, 8, BW, ALPHA)
+            assert cost.time > 0
+
+
+class TestTraffic:
+    def test_ring_wire_bytes(self):
+        cost = all_reduce_cost(1e6, 8, BW, ALPHA, "ring")
+        assert cost.wire_bytes_per_gpu == pytest.approx(2 * (7 / 8) * 1e6)
+
+    def test_total_traffic(self):
+        cost = all_gather_cost(1e6, 8, BW, ALPHA)
+        assert total_traffic(cost, 8) == pytest.approx(8 * (7 / 8) * 1e6)
+
+    def test_zero_size_zero_traffic(self):
+        assert all_reduce_cost(0, 8, BW, ALPHA).wire_bytes_per_gpu == 0.0
+
+
+class TestValidation:
+    def test_rejects_negative_size(self):
+        with pytest.raises(SpecError):
+            all_reduce_cost(-1, 8, BW)
+
+    def test_rejects_zero_world(self):
+        with pytest.raises(SpecError):
+            all_gather_cost(1e6, 0, BW)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(SpecError):
+            all_to_all_cost(1e6, 8, 0)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(SpecError):
+            broadcast_cost(1e6, 8, BW, -1e-6)
+
+
+class TestProperties:
+    @given(
+        size=st.floats(0, 1e9),
+        world=st.integers(1, 128),
+        bw=st.floats(1e9, 1e12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_times_nonnegative(self, size, world, bw):
+        for op in Collective:
+            assert cost_for(op, size, world, bw).time >= 0.0
+
+    @given(world=st.integers(2, 128), factor=st.floats(1.1, 10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_size(self, world, factor):
+        base = all_reduce_cost(1e6, world, BW, ALPHA).time
+        bigger = all_reduce_cost(1e6 * factor, world, BW, ALPHA).time
+        assert bigger > base
+
+    @given(size=st.floats(1e3, 1e9), world=st.integers(2, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_auto_never_worse_than_either(self, size, world):
+        auto = all_reduce_cost(size, world, BW, ALPHA, "auto").time
+        ring = all_reduce_cost(size, world, BW, ALPHA, "ring").time
+        tree = all_reduce_cost(size, world, BW, ALPHA, "tree").time
+        assert auto <= min(ring, tree) + 1e-12
+
+    @given(size=st.floats(1e3, 1e8), world=st.integers(2, 64), bw=st.floats(1e10, 1e12))
+    @settings(max_examples=50, deadline=None)
+    def test_bandwidth_helps(self, size, world, bw):
+        slow = all_reduce_cost(size, world, bw, ALPHA).time
+        fast = all_reduce_cost(size, world, bw * 2, ALPHA).time
+        assert fast <= slow

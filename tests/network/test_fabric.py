@@ -1,0 +1,75 @@
+"""Fabric rollup tests — the Section 2/4 networking-cost arguments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecError
+from repro.network.fabric import Fabric, compare_fabrics
+from repro.network.topology import (
+    DirectConnectTopology,
+    FlatCircuitTopology,
+    SwitchedTopology,
+)
+
+
+class TestFabric:
+    def test_ports_two_per_link(self):
+        fabric = Fabric(FlatCircuitTopology(n_gpus=16))
+        assert fabric.n_ports == 2 * fabric.topology.n_links
+
+    def test_capex_includes_switches(self):
+        switched = Fabric(SwitchedTopology(n_gpus=16))
+        direct = Fabric(DirectConnectTopology(n_gpus=16, group=4))
+        assert switched.capex() > 0
+        assert direct.capex() > 0
+        # direct-connect has no switch line item
+        report = direct.report()
+        assert report.n_switches == 0
+
+    def test_power_scales_with_utilization(self):
+        low = Fabric(FlatCircuitTopology(n_gpus=16), utilization=0.1).power()
+        high = Fabric(FlatCircuitTopology(n_gpus=16), utilization=0.9).power()
+        assert high > low
+
+    def test_utilization_bounds(self):
+        with pytest.raises(SpecError):
+            Fabric(FlatCircuitTopology(n_gpus=4), utilization=1.5)
+
+    def test_report_fields(self):
+        report = Fabric(FlatCircuitTopology(n_gpus=32)).report("test")
+        assert report.name == "test"
+        assert report.capex_per_gpu == pytest.approx(report.capex_usd / 32)
+        assert report.power_per_gpu == pytest.approx(report.power_w / 32)
+        assert "GPUs" in report.describe()
+
+
+class TestComparison:
+    def test_three_way_comparison(self):
+        reports = compare_fabrics(n_gpus=32)
+        assert [r.name for r in reports] == ["direct-connect", "packet-switched", "flat-circuit"]
+
+    def test_direct_connect_cheapest_but_weakest_bisection(self):
+        direct, packet, circuit = compare_fabrics(n_gpus=64)
+        assert direct.bisection_bandwidth < circuit.bisection_bandwidth
+
+    def test_circuit_beats_packet_on_power_at_scale(self):
+        """Section 3: circuit switching for cheaper/cooler flat networks."""
+        _, packet, circuit = compare_fabrics(n_gpus=256)
+        assert circuit.power_per_gpu < packet.power_per_gpu
+
+    def test_circuit_flat_hops(self):
+        _, packet, circuit = compare_fabrics(n_gpus=256)
+        assert circuit.avg_hops <= packet.avg_hops
+
+    def test_group_divisibility_enforced(self):
+        with pytest.raises(SpecError):
+            compare_fabrics(n_gpus=30, group=4)
+
+    def test_network_cost_fraction_of_gpu_cost(self):
+        """Section 2: 'networking costs are only a small fraction compared
+        to the GPU costs' — network capex per Lite-GPU should be well below
+        a plausible Lite-GPU price."""
+        _, _, circuit = compare_fabrics(n_gpus=128)
+        lite_gpu_price = 8000.0  # quarter of an H100-class street price
+        assert circuit.capex_per_gpu < 0.25 * lite_gpu_price

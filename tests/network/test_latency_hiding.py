@@ -1,0 +1,104 @@
+"""Prefetch latency-masking tests — Section 3's workload argument."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.network.latency_hiding import (
+    PrefetchPipeline,
+    kv_stream_efficiency,
+    required_depth,
+)
+from repro.network.links import CPO_OPTICS
+from repro.units import MS, US
+
+
+class TestPipeline:
+    def test_fully_hidden(self):
+        p = PrefetchPipeline(compute_time=10 * US, transfer_time=1 * US,
+                             fetch_latency=5 * US, depth=2)
+        assert p.efficiency == 1.0
+        assert p.bound == "compute"
+
+    def test_latency_bound_at_depth_one(self):
+        p = PrefetchPipeline(compute_time=1 * US, transfer_time=1 * US,
+                             fetch_latency=50 * US, depth=1)
+        assert p.efficiency < 0.05
+        assert p.bound == "latency"
+
+    def test_depth_restores_efficiency(self):
+        shallow = PrefetchPipeline(1 * US, 1 * US, 10 * US, depth=1)
+        deep = PrefetchPipeline(1 * US, 1 * US, 10 * US, depth=16)
+        assert deep.efficiency > shallow.efficiency
+        assert deep.efficiency == 1.0
+
+    def test_bandwidth_bound_cannot_be_hidden(self):
+        p = PrefetchPipeline(compute_time=1 * US, transfer_time=5 * US,
+                             fetch_latency=0.0, depth=32)
+        assert p.bound == "bandwidth"
+        assert p.efficiency == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            PrefetchPipeline(0.0, 1.0, 1.0)
+        with pytest.raises(SpecError):
+            PrefetchPipeline(1.0, -1.0, 1.0)
+        with pytest.raises(SpecError):
+            PrefetchPipeline(1.0, 1.0, 1.0, depth=0)
+
+
+class TestRequiredDepth:
+    def test_doctest_case(self):
+        assert required_depth(10e-6, 2e-6, 30e-6) == 4
+
+    def test_no_latency_needs_depth_one(self):
+        assert required_depth(10e-6, 2e-6, 0.0) == 1
+
+    def test_depth_achieves_full_efficiency(self):
+        for latency in (1 * US, 10 * US, 100 * US):
+            d = required_depth(5 * US, 1 * US, latency)
+            p = PrefetchPipeline(5 * US, 1 * US, latency, depth=d)
+            assert p.efficiency == pytest.approx(1.0)
+
+
+class TestPaperClaim:
+    def test_cpo_latency_masked_for_decode_streaming(self):
+        """Microsecond CPO latency vanishes against millisecond decode
+        iterations with a tiny prefetch depth — the paper's claim."""
+        efficiency = kv_stream_efficiency(
+            kv_bytes_per_iteration=1e9,  # 1 GB of KV per iteration
+            iteration_compute_time=20 * MS,
+            link_bandwidth=CPO_OPTICS.bandwidth,
+            link_latency=CPO_OPTICS.latency,
+            chunks=16,
+            depth=2,
+        )
+        assert efficiency > 0.95
+
+    def test_bandwidth_starved_pool_shows_through(self):
+        """Prefetching cannot hide *bandwidth* shortfalls — only latency."""
+        efficiency = kv_stream_efficiency(
+            kv_bytes_per_iteration=10e9,
+            iteration_compute_time=5 * MS,
+            link_bandwidth=100e9,  # 100 GB/s pool link; needs 2 GB/ms
+            link_latency=CPO_OPTICS.latency,
+        )
+        assert efficiency < 0.1
+
+
+class TestProperties:
+    @given(
+        compute=st.floats(1e-7, 1e-2),
+        transfer=st.floats(0.0, 1e-2),
+        latency=st.floats(0.0, 1e-2),
+        depth=st.integers(1, 64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_efficiency_bounded_and_monotone_in_depth(self, compute, transfer, latency, depth):
+        p1 = PrefetchPipeline(compute, transfer, latency, depth)
+        p2 = PrefetchPipeline(compute, transfer, latency, depth + 1)
+        assert 0.0 < p1.efficiency <= 1.0
+        assert p2.efficiency >= p1.efficiency - 1e-12

@@ -1,0 +1,85 @@
+"""Link-technology tests — the co-packaged-optics enabling claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RegistryError, SpecError
+from repro.network.links import (
+    COPPER_NVLINK,
+    CPO_OPTICS,
+    LINK_TYPES,
+    PLUGGABLE_OPTICS,
+    LinkSpec,
+    cpo_vs_pluggable_energy_gain,
+    get_link,
+)
+from repro.units import GB, PJ
+
+
+class TestCatalogue:
+    def test_lookup(self):
+        assert get_link("cpo-optics") is CPO_OPTICS
+        assert get_link("Copper NVLink") is COPPER_NVLINK
+
+    def test_unknown_link(self):
+        with pytest.raises(RegistryError):
+            get_link("carrier-pigeon")
+
+    def test_registry_complete(self):
+        assert len(LINK_TYPES) == 3
+
+
+class TestPaperEnvelope:
+    def test_cpo_reaches_tens_of_meters(self):
+        """Section 1: 'much better reach (10s of meters)' than copper."""
+        assert CPO_OPTICS.reach_m >= 10.0
+        assert COPPER_NVLINK.reach_m < 10.0
+
+    def test_cpo_matches_copper_bandwidth(self):
+        """CPO brings optical reach at NVLink-class bandwidth."""
+        assert CPO_OPTICS.bandwidth >= COPPER_NVLINK.bandwidth
+
+    def test_cpo_beats_pluggables_on_energy(self):
+        """Co-packaging cuts the electrical path -> better pJ/bit."""
+        assert CPO_OPTICS.pj_per_bit < PLUGGABLE_OPTICS.pj_per_bit
+        assert cpo_vs_pluggable_energy_gain() > 2.0
+
+    def test_cpo_cheaper_than_pluggables(self):
+        assert CPO_OPTICS.cost_per_port_usd < PLUGGABLE_OPTICS.cost_per_port_usd
+
+
+class TestTransferMath:
+    def test_transfer_time_latency_plus_serialization(self):
+        time = COPPER_NVLINK.transfer_time(450 * GB)
+        assert time == pytest.approx(1.0 + COPPER_NVLINK.latency, rel=1e-6)
+
+    def test_zero_bytes_costs_latency_only(self):
+        assert CPO_OPTICS.transfer_time(0) == CPO_OPTICS.latency
+
+    def test_energy_linear_in_bytes(self):
+        assert CPO_OPTICS.energy(2e9) == pytest.approx(2 * CPO_OPTICS.energy(1e9))
+
+    def test_energy_formula(self):
+        one_byte = CPO_OPTICS.energy(1)
+        assert one_byte == pytest.approx(8 * CPO_OPTICS.pj_per_bit * PJ)
+
+    def test_watts_at_line_rate(self):
+        watts = CPO_OPTICS.watts_at_line_rate()
+        assert watts == pytest.approx(CPO_OPTICS.bandwidth * 8 * CPO_OPTICS.pj_per_bit * PJ)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(SpecError):
+            CPO_OPTICS.transfer_time(-1)
+        with pytest.raises(SpecError):
+            CPO_OPTICS.energy(-1)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(SpecError):
+            LinkSpec("bad", 0, 1e-9, 1.0, 1.0, 1.0)
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(SpecError):
+            LinkSpec("bad", 1e9, 1e-9, 1.0, -1.0, 1.0)

@@ -1,0 +1,76 @@
+"""Routing utilities: graph paths vs. analytic hop counts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.network.routing import (
+    diameter,
+    graph_hop_count,
+    hop_count_matrix,
+    path_between,
+    verify_hop_counts,
+)
+from repro.network.topology import (
+    DirectConnectTopology,
+    FlatCircuitTopology,
+    SwitchedTopology,
+)
+
+TOPOLOGIES = [
+    DirectConnectTopology(n_gpus=16, group=4),
+    SwitchedTopology(n_gpus=16),
+    SwitchedTopology(n_gpus=256),
+    FlatCircuitTopology(n_gpus=16),
+]
+
+
+class TestPaths:
+    def test_path_endpoints(self):
+        topo = FlatCircuitTopology(n_gpus=8)
+        path = path_between(topo, 0, 5)
+        assert path[0] == ("gpu", 0)
+        assert path[-1] == ("gpu", 5)
+
+    def test_path_out_of_range(self):
+        with pytest.raises(SpecError):
+            path_between(FlatCircuitTopology(n_gpus=8), 0, 99)
+
+    @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: type(t).__name__ + str(t.n_gpus))
+    def test_analytic_upper_bounds_graph(self, topo):
+        assert verify_hop_counts(topo, samples=12, seed=1)
+
+    def test_flat_circuit_exact_match(self):
+        topo = FlatCircuitTopology(n_gpus=12)
+        for a, b in ((0, 1), (0, 11), (3, 7)):
+            assert topo.hop_count(a, b) == graph_hop_count(topo, a, b)
+
+
+class TestMatrix:
+    def test_matrix_shape_and_symmetry(self):
+        topo = SwitchedTopology(n_gpus=16)
+        mat = hop_count_matrix(topo)
+        assert mat.shape == (16, 16)
+        assert np.array_equal(mat, mat.T)
+        assert np.all(np.diag(mat) == 0)
+
+    def test_matrix_truncation(self):
+        topo = FlatCircuitTopology(n_gpus=128)
+        mat = hop_count_matrix(topo, max_gpus=8)
+        assert mat.shape == (8, 8)
+
+
+class TestDiameter:
+    def test_single_gpu(self):
+        assert diameter(FlatCircuitTopology(n_gpus=1)) == 0
+
+    def test_flat_circuit_diameter_two(self):
+        assert diameter(FlatCircuitTopology(n_gpus=300)) == 2
+
+    def test_leaf_spine_diameter_four(self):
+        assert diameter(SwitchedTopology(n_gpus=256)) == 4
+
+    def test_direct_connect_diameter_three(self):
+        assert diameter(DirectConnectTopology(n_gpus=16, group=4)) == 3

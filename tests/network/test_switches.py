@@ -1,0 +1,87 @@
+"""Switch-model tests — Section 3's circuit-switching claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecError
+from repro.network.switches import (
+    CIRCUIT_SWITCH_OCS,
+    PACKET_SWITCH_TOR,
+    SwitchKind,
+    SwitchSpec,
+    circuit_vs_packet_energy_gain,
+    path_energy_comparison,
+)
+
+
+class TestPaperClaims:
+    def test_energy_claim_over_50_percent(self):
+        """(i) 'more than 50% better energy efficiency'."""
+        assert circuit_vs_packet_energy_gain() > 0.5
+
+    def test_path_level_energy_claim(self):
+        """End-to-end (transceivers + switch) the saving is also > 50%...
+        of the switching energy — and > 40% of total path energy."""
+        comparison = path_energy_comparison()
+        assert comparison["saving"] > 0.4
+        assert comparison["circuit_pj_per_bit"] < comparison["packet_pj_per_bit"]
+
+    def test_latency_claim(self):
+        """(ii) 'lower latency' — light passes through an OCS."""
+        assert CIRCUIT_SWITCH_OCS.latency < PACKET_SWITCH_TOR.latency
+
+    def test_port_claim(self):
+        """(iii) 'more ports at high bandwidth' -> larger, flatter networks."""
+        assert CIRCUIT_SWITCH_OCS.ports > PACKET_SWITCH_TOR.ports
+        assert CIRCUIT_SWITCH_OCS.port_bandwidth > PACKET_SWITCH_TOR.port_bandwidth
+
+    def test_reconfiguration_is_the_price(self):
+        """Circuit switching pays reconfiguration time; packet does not."""
+        assert CIRCUIT_SWITCH_OCS.reconfig_time > 0
+        assert PACKET_SWITCH_TOR.reconfig_time == 0
+
+
+class TestPowerModel:
+    def test_packet_power_rises_with_utilization(self):
+        low = PACKET_SWITCH_TOR.power_at_utilization(0.1)
+        high = PACKET_SWITCH_TOR.power_at_utilization(0.9)
+        assert high > low
+
+    def test_circuit_power_flat_in_utilization(self):
+        """OCS energy is actuation, not per-bit."""
+        low = CIRCUIT_SWITCH_OCS.power_at_utilization(0.1)
+        high = CIRCUIT_SWITCH_OCS.power_at_utilization(0.9)
+        assert low == high == CIRCUIT_SWITCH_OCS.static_w
+
+    def test_energy_per_byte_falls_with_utilization_for_circuit(self):
+        """Static power amortizes over more traffic."""
+        assert CIRCUIT_SWITCH_OCS.energy_per_byte(0.9) < CIRCUIT_SWITCH_OCS.energy_per_byte(0.1)
+
+    def test_utilization_bounds(self):
+        with pytest.raises(SpecError):
+            PACKET_SWITCH_TOR.power_at_utilization(1.5)
+        with pytest.raises(SpecError):
+            PACKET_SWITCH_TOR.energy_per_byte(0.0)
+
+
+class TestEconomics:
+    def test_ocs_cheaper_per_bandwidth(self):
+        assert CIRCUIT_SWITCH_OCS.cost_per_gbps() < PACKET_SWITCH_TOR.cost_per_gbps()
+
+    def test_aggregate_bandwidth(self):
+        assert PACKET_SWITCH_TOR.aggregate_bandwidth == 64 * 100e9
+
+
+class TestValidation:
+    def test_rejects_nonpositive_ports(self):
+        with pytest.raises(SpecError):
+            SwitchSpec("bad", SwitchKind.PACKET, 0, 1e9, 0, 0, 0, 0, 0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(SpecError):
+            SwitchSpec("bad", SwitchKind.PACKET, 4, 1e9, -1, 0, 0, 0, 0)
+
+    def test_path_energy_validates_link(self):
+        with pytest.raises(SpecError):
+            path_energy_comparison(link_pj_per_bit=-1.0)

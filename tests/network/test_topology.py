@@ -1,0 +1,136 @@
+"""Topology tests: inventories, hop counts, bisection bandwidth."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.network.topology import (
+    DirectConnectTopology,
+    FlatCircuitTopology,
+    SwitchedTopology,
+)
+
+
+class TestDirectConnect:
+    def test_link_inventory(self):
+        topo = DirectConnectTopology(n_gpus=8, group=4)
+        # 2 groups x C(4,2)=6 mesh links + 2 uplinks
+        assert topo.n_links == 14
+        assert topo.n_switches == 0
+
+    def test_hop_counts(self):
+        topo = DirectConnectTopology(n_gpus=8, group=4)
+        assert topo.hop_count(0, 0) == 0
+        assert topo.hop_count(0, 3) == 1  # same group: mesh
+        assert topo.hop_count(0, 4) == 2  # uplink holder to uplink holder
+        assert topo.hop_count(1, 5) == 4  # mesh, up, over, mesh
+
+    def test_group_is_shared_fate_weakness(self):
+        """Bisection crosses only uplinks — the blast-radius caveat."""
+        topo = DirectConnectTopology(n_gpus=32, group=4)
+        flat = FlatCircuitTopology(n_gpus=32)
+        assert topo.bisection_bandwidth < flat.bisection_bandwidth
+
+    def test_requires_divisible_groups(self):
+        with pytest.raises(SpecError):
+            DirectConnectTopology(n_gpus=10, group=4)
+
+    def test_graph_matches_inventory(self):
+        topo = DirectConnectTopology(n_gpus=8, group=4)
+        g = topo.graph()
+        gpu_nodes = [n for n in g.nodes if n[0] == "gpu"]
+        assert len(gpu_nodes) == 8
+        assert g.number_of_edges() == topo.n_links
+
+
+class TestSwitched:
+    def test_flat_when_fits_one_switch(self):
+        topo = SwitchedTopology(n_gpus=32)
+        assert topo.is_flat
+        assert topo.n_switches == 1
+        assert topo.hop_count(0, 31) == 2
+
+    def test_two_tier_when_large(self):
+        topo = SwitchedTopology(n_gpus=256)
+        assert not topo.is_flat
+        assert topo.n_leaves == 8
+        assert topo.n_spines >= 1
+        assert topo.hop_count(0, 255) == 4
+        assert topo.hop_count(0, 1) == 2  # same leaf
+
+    def test_oversubscription_cuts_bisection(self):
+        full = SwitchedTopology(n_gpus=256, oversubscription=1.0)
+        thin = SwitchedTopology(n_gpus=256, oversubscription=2.0)
+        assert thin.bisection_bandwidth == pytest.approx(full.bisection_bandwidth / 2)
+
+    def test_rejects_undersubscription(self):
+        with pytest.raises(SpecError):
+            SwitchedTopology(n_gpus=8, oversubscription=0.5)
+
+    def test_graph_two_tier_connected(self):
+        import networkx as nx
+
+        topo = SwitchedTopology(n_gpus=128)
+        assert nx.is_connected(topo.graph())
+
+
+class TestFlatCircuit:
+    def test_constant_two_hops_at_any_scale(self):
+        """'larger and flatter networks': diameter stays 2."""
+        for n in (8, 300, 1024):
+            topo = FlatCircuitTopology(n_gpus=n)
+            assert topo.hop_count(0, n - 1) == 2
+
+    def test_full_bisection(self):
+        topo = FlatCircuitTopology(n_gpus=64)
+        assert topo.bisection_bandwidth == pytest.approx(32 * topo.per_gpu_bandwidth)
+
+    def test_planes_multiply_bandwidth_and_switches(self):
+        one = FlatCircuitTopology(n_gpus=64, planes=1)
+        two = FlatCircuitTopology(n_gpus=64, planes=2)
+        assert two.per_gpu_bandwidth == 2 * one.per_gpu_bandwidth
+        assert two.n_switches == 2 * one.n_switches
+
+    def test_switch_count_port_limited(self):
+        topo = FlatCircuitTopology(n_gpus=1000)
+        assert topo.switches_per_plane == 4  # 300-port OCS
+
+    def test_reconfiguration_penalty(self):
+        topo = FlatCircuitTopology(n_gpus=64)
+        assert topo.reconfiguration_penalty(0.0) == 0.0
+        assert 0 < topo.reconfiguration_penalty(1000.0) < 1.0
+        with pytest.raises(SpecError):
+            topo.reconfiguration_penalty(-1.0)
+
+
+class TestCommon:
+    def test_out_of_range_indices(self):
+        topo = FlatCircuitTopology(n_gpus=8)
+        with pytest.raises(SpecError):
+            topo.hop_count(0, 8)
+
+    def test_latency_includes_switch(self):
+        topo = FlatCircuitTopology(n_gpus=8)
+        bare = topo.latency(0, 1)
+        with_switch = topo.latency(0, 1, switch_latency=1e-6)
+        assert with_switch > bare
+
+    def test_avg_hops_bounded_by_diameter(self):
+        for topo in (
+            DirectConnectTopology(n_gpus=16, group=4),
+            SwitchedTopology(n_gpus=16),
+            FlatCircuitTopology(n_gpus=16),
+        ):
+            assert 0 < topo.avg_hops <= 4
+
+
+class TestProperties:
+    @given(n=st.sampled_from([8, 16, 32, 64]), group=st.sampled_from([2, 4]))
+    @settings(max_examples=20, deadline=None)
+    def test_hop_symmetry(self, n, group):
+        topo = DirectConnectTopology(n_gpus=n, group=group)
+        for a, b in ((0, n - 1), (1, 2), (0, group), (1, group + 1)):
+            assert topo.hop_count(a, b) == topo.hop_count(b, a)

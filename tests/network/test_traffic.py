@@ -1,0 +1,130 @@
+"""Traffic-matrix and congestion tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.network.topology import (
+    DirectConnectTopology,
+    FlatCircuitTopology,
+    SwitchedTopology,
+)
+from repro.network.traffic import (
+    TrafficPattern,
+    completion_time,
+    congestion_slowdown,
+    pattern_topology_study,
+    port_lower_bound,
+    traffic_matrix,
+)
+
+
+class TestMatrices:
+    @pytest.mark.parametrize("pattern", list(TrafficPattern))
+    def test_total_conserved(self, pattern):
+        m = traffic_matrix(pattern, 16, 1e9, group=4, seed=1)
+        assert m.sum() == pytest.approx(1e9)
+        assert np.all(np.diag(m) == 0.0)
+
+    def test_ring_structure(self):
+        m = traffic_matrix(TrafficPattern.RING, 8, 8.0)
+        for i in range(8):
+            assert m[i, (i + 1) % 8] == pytest.approx(1.0)
+
+    def test_permutation_is_one_to_one(self):
+        m = traffic_matrix(TrafficPattern.PERMUTATION, 16, 16.0, seed=3)
+        assert np.all((m > 0).sum(axis=1) == 1)
+        assert np.all((m > 0).sum(axis=0) == 1)
+
+    def test_group_local_stays_in_group(self):
+        m = traffic_matrix(TrafficPattern.GROUP_LOCAL, 8, 1.0, group=4)
+        assert m[:4, 4:].sum() == 0.0
+        assert m[4:, :4].sum() == 0.0
+
+    def test_hotspot_targets_zero(self):
+        m = traffic_matrix(TrafficPattern.HOTSPOT, 8, 7.0)
+        assert m[:, 0].sum() == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            traffic_matrix(TrafficPattern.RING, 1, 1.0)
+        with pytest.raises(SpecError):
+            traffic_matrix(TrafficPattern.RING, 8, 0.0)
+        with pytest.raises(SpecError):
+            traffic_matrix(TrafficPattern.RING, 10, 1.0, group=4)
+
+
+class TestBounds:
+    def test_port_lower_bound(self):
+        m = traffic_matrix(TrafficPattern.HOTSPOT, 8, 7e9)
+        # GPU 0 must receive 7 GB through one port.
+        assert port_lower_bound(m, 1e9) == pytest.approx(7.0)
+
+    def test_completion_at_least_lower_bound(self):
+        for pattern in TrafficPattern:
+            m = traffic_matrix(pattern, 16, 16e9, group=4, seed=2)
+            for topo in (
+                DirectConnectTopology(n_gpus=16, group=4),
+                SwitchedTopology(n_gpus=16),
+                FlatCircuitTopology(n_gpus=16),
+            ):
+                assert congestion_slowdown(topo, m) >= 1.0 - 1e-9
+
+    def test_matrix_shape_checked(self):
+        topo = FlatCircuitTopology(n_gpus=8)
+        with pytest.raises(SpecError):
+            completion_time(topo, np.zeros((4, 4)))
+
+
+class TestPaperStory:
+    """Predictable traffic fits cheap topologies; random traffic does not."""
+
+    def test_group_local_ideal_on_direct_connect(self):
+        topo = DirectConnectTopology(n_gpus=32, group=4)
+        m = traffic_matrix(TrafficPattern.GROUP_LOCAL, 32, 32e9, group=4)
+        # Dedicated mesh links: within ~3x of the port bound (each pair has
+        # a full link; port bound assumes all ports usable at once).
+        assert congestion_slowdown(topo, m) < 3.0
+
+    def test_random_permutation_congests_direct_connect(self):
+        topo = DirectConnectTopology(n_gpus=32, group=4)
+        m = traffic_matrix(TrafficPattern.PERMUTATION, 32, 32e9, group=4, seed=5)
+        switched = SwitchedTopology(n_gpus=32)
+        assert congestion_slowdown(topo, m) > 3.0
+        assert congestion_slowdown(switched, m) < 2.0
+
+    def test_circuit_handles_permutations_cleanly(self):
+        topo = FlatCircuitTopology(n_gpus=32)
+        m = traffic_matrix(TrafficPattern.PERMUTATION, 32, 32e9, seed=5)
+        # One matching, one reconfiguration.
+        assert congestion_slowdown(topo, m) < 1.1
+
+    def test_all_to_all_costs_circuit_reconfigs(self):
+        topo = FlatCircuitTopology(n_gpus=32)
+        uniform = traffic_matrix(TrafficPattern.ALL_TO_ALL, 32, 3.2e6)  # tiny flows
+        perm = traffic_matrix(TrafficPattern.PERMUTATION, 32, 3.2e6, seed=1)
+        # With tiny flows, the 31 matchings' reconfigurations dominate.
+        assert completion_time(topo, uniform) > 10 * completion_time(topo, perm)
+
+    def test_study_structure(self):
+        study = pattern_topology_study(n=16, total_bytes=16e9)
+        assert set(study) == {p.value for p in TrafficPattern}
+        for slowdowns in study.values():
+            assert set(slowdowns) == {"direct", "switched", "circuit"}
+            assert all(s >= 1.0 - 1e-9 for s in slowdowns.values())
+
+
+class TestProperties:
+    @given(
+        pattern=st.sampled_from(list(TrafficPattern)),
+        seed=st.integers(0, 20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_slowdowns_finite_and_ordered(self, pattern, seed):
+        m = traffic_matrix(pattern, 16, 16e9, group=4, seed=seed)
+        direct = DirectConnectTopology(n_gpus=16, group=4)
+        assert np.isfinite(congestion_slowdown(direct, m))

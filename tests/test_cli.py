@@ -1,0 +1,47 @@
+"""CLI smoke tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("table1", "fig1", "fig2", "fig3a", "fig3b", "report", "search", "tco"):
+            args = parser.parse_args([command] if command not in ("search", "tco") else [command])
+            assert callable(args.fn)
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "H100" in out and "Lite+MemBW" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "yield" in capsys.readouterr().out
+
+    def test_fig3b(self, capsys):
+        assert main(["fig3b"]) == 0
+        out = capsys.readouterr().out
+        assert "Llama3-405B" in out
+
+    def test_search_verbose(self, capsys):
+        assert main(["search", "--model", "Llama3-8B", "--gpu", "H100",
+                     "--phase", "decode", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "tok/s/SM" in out
+        assert "bound by" in out
+
+    def test_tco(self, capsys):
+        assert main(["tco", "--model", "Llama3-8B"]) == 0
+        out = capsys.readouterr().out
+        assert "/Mtok" in out and "saving" in out

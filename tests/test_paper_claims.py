@@ -1,0 +1,149 @@
+"""The reproduction gate: every quantitative claim of the paper, asserted.
+
+These tests define what "reproduced" means for this repository.  Where the
+paper states a number, the model must land near it; where a figure shows a
+shape (who wins, roughly by how much, where crossovers fall), the shape must
+hold.  EXPERIMENTS.md records the same comparisons with commentary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import fig3a_prefill_series, fig3b_decode_series
+from repro.hardware.cooling import CoolingKind, CoolingModel, rack_cooling_requirement
+from repro.hardware.cost import CostModel
+from repro.hardware.die import shoreline_ratio
+from repro.hardware.gpu import H100, LITE
+from repro.hardware.yieldmodel import yield_gain
+from repro.network.links import CPO_OPTICS, PLUGGABLE_OPTICS
+from repro.network.switches import circuit_vs_packet_energy_gain, path_energy_comparison
+
+
+@pytest.fixture(scope="module")
+def fig3a():
+    return fig3a_prefill_series()
+
+
+@pytest.fixture(scope="module")
+def fig3b():
+    return fig3b_decode_series()
+
+
+class TestSection2Claims:
+    def test_yield_gain_claim(self):
+        """'the yield rate can be increased by 1.8x when a H100-like compute
+        die area is reduced by 1/4th'."""
+        assert yield_gain(814.0, 4) == pytest.approx(1.8, abs=0.1)
+
+    def test_cost_claim(self):
+        """'corresponding to almost 50% reduction in manufacturing cost'."""
+        assert CostModel().cost_reduction(814.0, 4) == pytest.approx(0.5, abs=0.08)
+
+    def test_shoreline_claim(self):
+        """'reducing the die area to 1/4th doubles the perimeter ...
+        yielding a cluster with 2x the bandwidth-to-compute ratio'."""
+        assert shoreline_ratio(4) == pytest.approx(2.0)
+
+    def test_cooling_claim(self):
+        """'Smaller single-die GPUs can be air-cooled separately and even
+        sustain higher clock frequencies'."""
+        air = CoolingModel(CoolingKind.AIR)
+        assert not air.can_cool(H100)
+        assert air.can_cool(LITE)
+        assert air.overclock_headroom(LITE) >= 1.10
+
+    def test_liquid_rack_elimination(self):
+        """Section 3: Lite racks at the same compute avoid liquid cooling."""
+        assert rack_cooling_requirement(H100, 72) is CoolingKind.LIQUID_COLD_PLATE
+        assert rack_cooling_requirement(LITE, 72) is CoolingKind.AIR
+
+
+class TestSection1NetworkClaims:
+    def test_cpo_reach_claim(self):
+        """'much better reach (10s of meters)'."""
+        assert CPO_OPTICS.reach_m >= 10.0
+
+    def test_cpo_efficiency_claim(self):
+        """CPO cuts the electrical path -> better pJ/bit than pluggables."""
+        assert CPO_OPTICS.pj_per_bit < 0.5 * PLUGGABLE_OPTICS.pj_per_bit
+
+    def test_circuit_switching_energy_claim(self):
+        """Section 3: '(i) more than 50% better energy efficiency'."""
+        assert circuit_vs_packet_energy_gain() > 0.5
+        assert path_energy_comparison()["saving"] > 0.4
+
+
+class TestFigure3aPrefill:
+    """Caption: 'All configurations perform similarly.  As the model sizes
+    grow, the Lite cluster underperforms due to increased collectives
+    causing network bottlenecks.  Increasing the network bandwidth
+    compensates the increased network demand, overclocking improves
+    performance further as prefill workloads are compute-bound.'"""
+
+    def test_small_model_all_similar(self, fig3a):
+        series = fig3a["Llama3-70B"]
+        for gpu in ("Lite", "Lite+NetBW"):
+            assert series[gpu] == pytest.approx(1.0, abs=0.1)
+
+    def test_lite_degrades_with_model_size(self, fig3a):
+        lite = [fig3a[m]["Lite"] for m in ("Llama3-70B", "GPT3-175B", "Llama3-405B")]
+        assert lite[0] >= lite[1] - 0.01 >= lite[2] - 0.01  # non-increasing trend
+        assert lite[2] < 0.9  # visible degradation at 405B
+
+    def test_netbw_compensates(self, fig3a):
+        for model in ("Llama3-70B", "GPT3-175B", "Llama3-405B"):
+            assert fig3a[model]["Lite+NetBW"] >= fig3a[model]["Lite"] - 1e-9
+        assert fig3a["Llama3-405B"]["Lite+NetBW"] > 0.9
+
+    def test_overclocking_improves_further(self, fig3a):
+        for model in ("Llama3-70B", "GPT3-175B", "Llama3-405B"):
+            assert fig3a[model]["Lite+NetBW+FLOPS"] >= fig3a[model]["Lite+NetBW"] - 0.02
+
+    def test_overclock_exceeds_h100_for_small_models(self, fig3a):
+        assert fig3a["Llama3-70B"]["Lite+NetBW+FLOPS"] > 1.0
+
+
+class TestFigure3bDecode:
+    """Caption: 'As model sizes and thus the number of required GPUs grow,
+    the Lite cluster underperforms due to increased memory access
+    intensities.  The degradation is worse with GPT-3 due to it having more
+    KV-heads resulting in proportionally longer memory-bound stages.  As
+    Lite-GPUs utilize their available shoreline for more memory bandwidth,
+    performance improves and exceeds the current H100 cluster.'"""
+
+    def test_lite_below_h100_everywhere(self, fig3b):
+        for model in ("Llama3-70B", "GPT3-175B", "Llama3-405B"):
+            assert fig3b[model]["Lite"] < 1.0
+
+    def test_gpt3_dips_below_llama70b(self, fig3b):
+        """'The degradation is worse with GPT-3' (vs. its size neighbour)."""
+        assert fig3b["GPT3-175B"]["Lite"] <= fig3b["Llama3-70B"]["Lite"] + 1e-9
+
+    def test_membw_exceeds_h100_for_70b_and_gpt3(self, fig3b):
+        assert fig3b["Llama3-70B"]["Lite+MemBW"] > 1.0
+        assert fig3b["GPT3-175B"]["Lite+MemBW"] > 1.0
+
+    def test_membw_peak_matches_figure_scale(self, fig3b):
+        """The figure's y-axis tops out at 1.6: the best Lite+MemBW bar
+        lands in the 1.3-1.7 band."""
+        best = max(fig3b[m]["Lite+MemBW"] for m in ("Llama3-70B", "GPT3-175B"))
+        assert 1.3 < best < 1.75
+
+    def test_extra_netbw_helps_decode_everywhere(self, fig3b):
+        for model in ("Llama3-70B", "GPT3-175B", "Llama3-405B"):
+            assert fig3b[model]["Lite+MemBW+NetBW"] >= fig3b[model]["Lite+MemBW"]
+
+    def test_405b_divergence_documented(self, fig3b):
+        """Known divergence (EXPERIMENTS.md): at 405B the forced 32-way
+        tensor parallelism keeps Lite+MemBW below H100 under our collective
+        model; the +NetBW variant recovers past 1.0."""
+        assert fig3b["Llama3-405B"]["Lite+MemBW"] < 1.0
+        assert fig3b["Llama3-405B"]["Lite+MemBW+NetBW"] > 1.0
+
+
+class TestTable1Consistency:
+    def test_sm_normalization_basis(self):
+        """32 Lite GPUs == 8 H100s in SMs: the tokens/s/SM comparisons are
+        at equal aggregate silicon."""
+        assert 32 * LITE.sms == 8 * H100.sms

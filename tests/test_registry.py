@@ -1,0 +1,64 @@
+"""Registry and exception-hierarchy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._registry import Registry
+from repro.errors import (
+    AllocationError,
+    InfeasibleError,
+    LiteGPUError,
+    RegistryError,
+    SimulationError,
+    SpecError,
+)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg: Registry[int] = Registry("thing")
+        reg.register("Foo-Bar", 42)
+        assert reg.get("foo_bar") == 42
+        assert reg.get("FOO BAR") == 42
+
+    def test_duplicate_rejected(self):
+        reg: Registry[int] = Registry("thing")
+        reg.register("x", 1)
+        with pytest.raises(RegistryError):
+            reg.register("X", 2)
+
+    def test_overwrite_allowed_when_requested(self):
+        reg: Registry[int] = Registry("thing")
+        reg.register("x", 1)
+        reg.register("x", 2, overwrite=True)
+        assert reg.get("x") == 2
+
+    def test_unknown_lists_known_names(self):
+        reg: Registry[int] = Registry("widget")
+        reg.register("alpha", 1)
+        with pytest.raises(RegistryError, match="alpha"):
+            reg.get("beta")
+
+    def test_contains_iter_len_names(self):
+        reg: Registry[int] = Registry("thing")
+        reg.register("a", 1)
+        reg.register("b", 2)
+        assert "a" in reg and "c" not in reg
+        assert list(reg) == [1, 2]
+        assert len(reg) == 2
+        assert reg.names() == ["a", "b"]
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [SpecError, InfeasibleError, AllocationError, SimulationError, RegistryError]
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, LiteGPUError)
+
+    def test_spec_error_is_value_error(self):
+        assert issubclass(SpecError, ValueError)
+
+    def test_registry_error_is_key_error(self):
+        assert issubclass(RegistryError, KeyError)

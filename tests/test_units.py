@@ -1,0 +1,69 @@
+"""Unit-constant and formatting tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_time_ladder(self):
+        assert units.US == pytest.approx(1000 * units.NS)
+        assert units.MS == pytest.approx(1000 * units.US)
+        assert units.SECOND == pytest.approx(1000 * units.MS)
+        assert units.HOUR == 60 * units.MINUTE
+        assert units.DAY == 24 * units.HOUR
+
+    def test_data_ladder_decimal(self):
+        assert units.GB == 1000 * units.MB
+        assert units.TB == 1000 * units.GB
+        assert units.PB == 1000 * units.TB
+
+    def test_data_ladder_binary(self):
+        assert units.GIB == 1024 * units.MIB
+        assert units.GIB > units.GB
+
+    def test_rate_bits_vs_bytes(self):
+        assert units.GBIT_PER_S * 8 == units.GB_PER_S
+        assert units.PBIT_PER_S == 1000 * units.TBIT_PER_S
+
+    def test_compute_ladder(self):
+        assert units.TFLOPS == 1000 * units.GFLOPS
+        assert units.PFLOPS == 1000 * units.TFLOPS
+
+
+class TestConversions:
+    def test_to_unit(self):
+        assert units.to_unit(2e12, units.TFLOPS) == 2.0
+
+    def test_from_unit_roundtrip(self):
+        assert units.from_unit(units.to_unit(3.5e9, units.GB), units.GB) == 3.5e9
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (3.35e12, "3.35 TB"),
+            (2e9, "2.00 GB"),
+            (1.5e6, "1.50 MB"),
+            (999.0, "999 B"),
+        ],
+    )
+    def test_fmt_bytes(self, value, expected):
+        assert units.fmt_bytes(value) == expected
+
+    def test_fmt_rate(self):
+        assert units.fmt_rate(4.5e11) == "450.00 GB/s"
+
+    def test_fmt_flops(self):
+        assert units.fmt_flops(2e15) == "2.00 PFLOPS"
+        assert units.fmt_flops(5e11) == "500.00 GFLOPS"
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(2.5, "2.50 s"), (0.0021, "2.10 ms"), (3.2e-6, "3.20 us"), (5e-9, "5.00 ns")],
+    )
+    def test_fmt_time(self, value, expected):
+        assert units.fmt_time(value) == expected

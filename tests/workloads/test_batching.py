@@ -1,0 +1,110 @@
+"""Batch-formation policy tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.workloads.batching import Batch, ContinuousBatcher, StaticBatcher
+from repro.workloads.traces import Request
+
+
+def make_requests(specs):
+    """specs: list of (prompt, output)."""
+    return [
+        Request(request_id=i, arrival=float(i), prompt_tokens=p, output_tokens=o)
+        for i, (p, o) in enumerate(specs)
+    ]
+
+
+class TestBatch:
+    def test_prompt_token_totals(self):
+        batch = Batch(make_requests([(100, 10), (200, 5)]))
+        assert batch.prompt_tokens == 300
+        assert batch.max_prompt_tokens == 200
+        assert batch.size == 2
+
+    def test_kv_tokens_at_decode_step(self):
+        batch = Batch(make_requests([(100, 10), (200, 5)]))
+        assert batch.kv_tokens_at(0) == 300
+        assert batch.kv_tokens_at(7) == 100 + 7 + 200 + 5
+        assert batch.kv_tokens_at(100) == 100 + 10 + 200 + 5
+
+    def test_active_at(self):
+        batch = Batch(make_requests([(100, 10), (200, 5)]))
+        assert batch.active_at(0) == 2
+        assert batch.active_at(5) == 1
+        assert batch.active_at(10) == 0
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(SpecError):
+            Batch(make_requests([(10, 1)])).kv_tokens_at(-1)
+
+
+class TestStaticBatcher:
+    def test_fixed_size_batches(self):
+        requests = make_requests([(10, 1)] * 7)
+        batches = StaticBatcher(max_batch=3).form(requests)
+        assert [b.size for b in batches] == [3, 3, 1]
+
+    def test_preserves_arrival_order(self):
+        requests = make_requests([(10, 1)] * 5)
+        batches = StaticBatcher(max_batch=2).form(requests)
+        flattened = [r.request_id for b in batches for r in b.requests]
+        assert flattened == [0, 1, 2, 3, 4]
+
+    def test_token_cap_splits_early(self):
+        requests = make_requests([(600, 1), (600, 1), (600, 1)])
+        batches = StaticBatcher(max_batch=10, max_tokens=1000).form(requests)
+        assert [b.size for b in batches] == [1, 1, 1]
+
+    def test_single_oversized_request_still_batched(self):
+        requests = make_requests([(5000, 1)])
+        batches = StaticBatcher(max_batch=4, max_tokens=1000).form(requests)
+        assert len(batches) == 1 and batches[0].size == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(SpecError):
+            StaticBatcher(max_batch=0)
+        with pytest.raises(SpecError):
+            StaticBatcher(max_batch=1, max_tokens=0)
+
+    def test_empty_queue(self):
+        assert StaticBatcher(max_batch=4).form([]) == []
+
+
+class TestContinuousBatcher:
+    def test_admission_respects_slots(self):
+        batcher = ContinuousBatcher(max_batch=2, kv_token_budget=10_000)
+        admitted = batcher.admissible(make_requests([(100, 10)] * 5), 0, 0)
+        assert len(admitted) == 2
+
+    def test_admission_respects_kv_budget(self):
+        batcher = ContinuousBatcher(max_batch=16, kv_token_budget=250)
+        admitted = batcher.admissible(make_requests([(100, 10)] * 5), 0, 0)
+        assert len(admitted) == 2  # 110 + 110 <= 250, third would exceed
+
+    def test_admission_accounts_for_occupancy(self):
+        batcher = ContinuousBatcher(max_batch=16, kv_token_budget=250)
+        admitted = batcher.admissible(make_requests([(100, 10)] * 5), 0, 200)
+        assert len(admitted) == 0
+
+    def test_form_wraps_admissible(self):
+        batcher = ContinuousBatcher(max_batch=3, kv_token_budget=10_000)
+        batches = batcher.form(make_requests([(10, 1)] * 5))
+        assert len(batches) == 1 and batches[0].size == 3
+
+
+class TestProperties:
+    @given(
+        sizes=st.lists(st.tuples(st.integers(1, 500), st.integers(1, 50)), min_size=1, max_size=40),
+        max_batch=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_static_batching_partitions_queue(self, sizes, max_batch):
+        requests = make_requests(sizes)
+        batches = StaticBatcher(max_batch=max_batch).form(requests)
+        assert sum(b.size for b in batches) == len(requests)
+        assert all(b.size <= max_batch for b in batches)

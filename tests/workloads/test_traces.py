@@ -1,0 +1,112 @@
+"""Synthetic trace generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.workloads.traces import (
+    LengthDistribution,
+    Request,
+    TraceConfig,
+    generate_trace,
+    trace_stats,
+)
+
+
+class TestConfigValidation:
+    def test_rejects_zero_rate(self):
+        with pytest.raises(SpecError):
+            TraceConfig(rate=0)
+
+    def test_rejects_max_prompt_below_median(self):
+        with pytest.raises(SpecError):
+            TraceConfig(prompt_tokens=1000, max_prompt=500)
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        cfg = TraceConfig(rate=10, duration=20)
+        assert generate_trace(cfg, seed=5) == generate_trace(cfg, seed=5)
+
+    def test_different_seeds_differ(self):
+        cfg = TraceConfig(rate=10, duration=20)
+        assert generate_trace(cfg, seed=1) != generate_trace(cfg, seed=2)
+
+    def test_arrivals_sorted_and_bounded(self):
+        trace = generate_trace(TraceConfig(rate=20, duration=10), seed=0)
+        arrivals = [r.arrival for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= a <= 10 for a in arrivals)
+
+    def test_rate_roughly_respected(self):
+        trace = generate_trace(TraceConfig(rate=50, duration=100), seed=0)
+        assert len(trace) == pytest.approx(5000, rel=0.1)
+
+    def test_constant_prompts_are_paper_default(self):
+        trace = generate_trace(TraceConfig(rate=10, duration=10), seed=0)
+        assert all(r.prompt_tokens == 1500 for r in trace)
+
+    def test_uniform_arrivals_evenly_spaced(self):
+        trace = generate_trace(
+            TraceConfig(rate=10, duration=5, poisson_arrivals=False), seed=0
+        )
+        gaps = np.diff([r.arrival for r in trace])
+        assert np.allclose(gaps, 0.1)
+
+    def test_request_ids_sequential(self):
+        trace = generate_trace(TraceConfig(rate=5, duration=10), seed=0)
+        assert [r.request_id for r in trace] == list(range(len(trace)))
+
+
+class TestDistributions:
+    def test_lognormal_median_near_target(self):
+        cfg = TraceConfig(
+            rate=100, duration=100,
+            output_dist=LengthDistribution.LOGNORMAL, output_tokens=250,
+        )
+        trace = generate_trace(cfg, seed=0)
+        outputs = np.array([r.output_tokens for r in trace])
+        assert np.median(outputs) == pytest.approx(250, rel=0.15)
+
+    def test_uniform_prompts_within_band(self):
+        cfg = TraceConfig(
+            rate=50, duration=20,
+            prompt_dist=LengthDistribution.UNIFORM, prompt_tokens=1000, prompt_spread=0.5,
+        )
+        trace = generate_trace(cfg, seed=0)
+        prompts = [r.prompt_tokens for r in trace]
+        assert min(prompts) >= 500
+        assert max(prompts) <= 1500
+
+    def test_outputs_clamped_to_max(self):
+        cfg = TraceConfig(rate=50, duration=20, output_spread=3.0, max_output=300)
+        trace = generate_trace(cfg, seed=0)
+        assert all(1 <= r.output_tokens <= 300 for r in trace)
+
+
+class TestStats:
+    def test_empty_trace(self):
+        assert trace_stats([]) == {"requests": 0}
+
+    def test_stats_fields(self):
+        trace = generate_trace(TraceConfig(rate=10, duration=30), seed=0)
+        stats = trace_stats(trace)
+        assert stats["requests"] == len(trace)
+        assert stats["prompt_p50"] == 1500
+        assert stats["total_prompt_tokens"] == 1500 * len(trace)
+
+    def test_total_tokens_property(self):
+        r = Request(request_id=0, arrival=0.0, prompt_tokens=100, output_tokens=50)
+        assert r.total_tokens == 150
+
+
+class TestProperties:
+    @given(rate=st.floats(0.5, 100), duration=st.floats(1, 50), seed=st.integers(0, 99))
+    @settings(max_examples=25, deadline=None)
+    def test_all_lengths_positive(self, rate, duration, seed):
+        trace = generate_trace(TraceConfig(rate=rate, duration=duration), seed=seed)
+        assert all(r.prompt_tokens >= 1 and r.output_tokens >= 1 for r in trace)

@@ -1,0 +1,153 @@
+"""ModelSpec geometry and parameter-counting tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.workloads.models import GPT3_175B, LLAMA3_8B, LLAMA3_70B, LLAMA3_405B
+from repro.workloads.transformer import AttentionKind, MLPKind, ModelSpec
+
+
+def small_spec(**overrides) -> ModelSpec:
+    base = dict(
+        name="tiny", layers=4, hidden=256, heads=8, kv_heads=4,
+        ffn_hidden=1024, vocab=1000,
+    )
+    base.update(overrides)
+    return ModelSpec(**base)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_layers(self):
+        with pytest.raises(SpecError):
+            small_spec(layers=0)
+
+    def test_rejects_kv_heads_above_heads(self):
+        with pytest.raises(SpecError):
+            small_spec(kv_heads=16)
+
+    def test_rejects_heads_not_multiple_of_kv(self):
+        with pytest.raises(SpecError):
+            small_spec(heads=8, kv_heads=3)
+
+    def test_rejects_indivisible_hidden_without_head_dim(self):
+        with pytest.raises(SpecError):
+            small_spec(hidden=250)
+
+    def test_explicit_head_dim_allows_indivisible_hidden(self):
+        spec = small_spec(hidden=250, head_dim=32)
+        assert spec.head_dim == 32
+
+    def test_rejects_negative_kv_tokens(self):
+        with pytest.raises(SpecError):
+            small_spec().kv_bytes(-1)
+
+
+class TestAttentionKinds:
+    def test_mha_detection(self):
+        assert small_spec(kv_heads=8).attention_kind is AttentionKind.MHA
+
+    def test_gqa_detection(self):
+        assert small_spec(kv_heads=4).attention_kind is AttentionKind.GQA
+
+    def test_mqa_detection(self):
+        assert small_spec(kv_heads=1).attention_kind is AttentionKind.MQA
+
+    def test_gqa_group(self):
+        assert small_spec(kv_heads=2).gqa_group == 4
+
+
+class TestParameterCounts:
+    """The headline counts should land on the models' nominal sizes."""
+
+    @pytest.mark.parametrize(
+        "model,nominal_b,tolerance",
+        [
+            (LLAMA3_8B, 8.0, 0.08),
+            (LLAMA3_70B, 70.0, 0.03),
+            (GPT3_175B, 175.0, 0.03),
+            (LLAMA3_405B, 405.0, 0.03),
+        ],
+    )
+    def test_nominal_parameter_counts(self, model, nominal_b, tolerance):
+        actual_b = model.param_count / 1e9
+        assert actual_b == pytest.approx(nominal_b, rel=tolerance)
+
+    def test_attn_params_formula(self):
+        spec = small_spec()
+        expected = 256 * 256 + 2 * 256 * (4 * 32) + 256 * 256
+        assert spec.attn_params_per_layer == expected
+
+    def test_gated_mlp_has_three_matrices(self):
+        gated = small_spec(mlp_kind=MLPKind.GATED)
+        plain = small_spec(mlp_kind=MLPKind.PLAIN)
+        assert gated.mlp_params_per_layer == 3 * 256 * 1024
+        assert plain.mlp_params_per_layer == 2 * 256 * 1024
+
+    def test_tied_embeddings_halve_embedding_params(self):
+        tied = small_spec(tie_embeddings=True)
+        untied = small_spec(tie_embeddings=False)
+        assert untied.embedding_params == 2 * tied.embedding_params
+
+    def test_weight_bytes_scales_with_format(self):
+        spec = small_spec()
+        assert spec.weight_bytes(2.0) == 2 * spec.weight_bytes(1.0)
+
+
+class TestKVCache:
+    def test_kv_bytes_per_token_formula(self):
+        spec = small_spec(kv_heads=4)
+        # 2 (K and V) * kv_dim * layers
+        assert spec.kv_bytes_per_token() == 2 * 4 * 32 * 4
+
+    def test_gpt3_kv_dwarfs_llama_kv(self):
+        """The structural fact behind Figure 3b's GPT-3 caption."""
+        ratio = GPT3_175B.kv_bytes_per_token() / LLAMA3_70B.kv_bytes_per_token()
+        assert ratio > 10
+
+    def test_kv_bytes_linear_in_tokens(self):
+        spec = small_spec()
+        assert spec.kv_bytes(200) == 2 * spec.kv_bytes(100)
+
+
+class TestScaled:
+    def test_scaled_layer_count(self):
+        spec = small_spec().scaled(0.5)
+        assert spec.layers == 2
+
+    def test_scaled_keeps_other_fields(self):
+        spec = small_spec().scaled(2.0, name="double")
+        assert spec.name == "double"
+        assert spec.hidden == 256
+
+
+class TestProperties:
+    @given(
+        layers=st.integers(1, 200),
+        heads=st.sampled_from([4, 8, 16, 32, 64]),
+        kv_div=st.sampled_from([1, 2, 4]),
+        head_dim=st.sampled_from([32, 64, 128]),
+        ffn_mult=st.integers(2, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_param_count_positive_and_consistent(self, layers, heads, kv_div, head_dim, ffn_mult):
+        hidden = heads * head_dim
+        spec = ModelSpec(
+            name="gen", layers=layers, hidden=hidden, heads=heads,
+            kv_heads=heads // kv_div, ffn_hidden=hidden * ffn_mult, vocab=5000,
+        )
+        assert spec.param_count > 0
+        assert spec.param_count == layers * spec.params_per_layer + spec.embedding_params
+        # dense FLOPs/token ~ 2 * non-embedding params
+        assert spec.flops_per_token_dense() == pytest.approx(
+            2.0 * layers * spec.params_per_layer
+        )
+
+    @given(tokens=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_kv_monotone_in_tokens(self, tokens):
+        spec = small_spec()
+        assert spec.kv_bytes(tokens + 1) > spec.kv_bytes(tokens)

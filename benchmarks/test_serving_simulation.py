@@ -9,6 +9,8 @@ pool, +MemBW decode pool).
 
 from __future__ import annotations
 
+import pytest
+
 from repro.analysis.tables import format_table
 from repro.cluster.scheduler import InstanceSpec, PhasePools
 from repro.cluster.simulator import ServingSimulator, SimConfig
@@ -80,3 +82,53 @@ def test_serving_simulation(benchmark):
     assert lite.tbt_mean < 0.050
     # ...with decode iterations at least as fast as H100's (the +MemBW win).
     assert lite.tbt_mean <= h100.tbt_mean * 1.05
+
+
+# SimReports of the pre-refactor (seed) simulator on the two scenarios above,
+# captured before the engine/policy split.  The layered engine in phase-split
+# mode with the default "fcfs" bundle must reproduce them exactly.
+_SEED_GOLDEN = {
+    "h100": {
+        "completed": 231,
+        "dropped": 0,
+        "duration": 43.46807727969482,
+        "ttft_p50": 0.061439550804799126,
+        "ttft_p99": 0.09681640739188098,
+        "tbt_mean": 0.012127148740850163,
+        "tbt_p99": 0.012513364378087961,
+        "e2e_p50": 1.9573085965844577,
+        "e2e_p99": 4.830885326330978,
+        "output_tokens_per_s": 888.4680992789278,
+        "prefill_utilization": 0.16325040106516678,
+        "decode_utilization": 0.49601396501003325,
+        "requeued_on_failure": 0,
+    },
+    "lite": {
+        "completed": 231,
+        "dropped": 0,
+        "duration": 41.63254386639117,
+        "ttft_p50": 0.06293031223931678,
+        "ttft_p99": 0.09979793026091628,
+        "tbt_mean": 0.005943629215526238,
+        "tbt_p99": 0.006085637389295073,
+        "e2e_p50": 0.9901322687168452,
+        "e2e_p99": 2.406473151656357,
+        "output_tokens_per_s": 927.6396879311736,
+        "prefill_utilization": 0.1745335306802353,
+        "decode_utilization": 0.49514823349265585,
+        "requeued_on_failure": 0,
+    },
+}
+
+
+def test_refactored_engine_matches_seed_simulator():
+    """The layered engine replays the seed simulator float-for-float."""
+    h100, lite = _run_both()
+    for name, report in (("h100", h100), ("lite", lite)):
+        golden = _SEED_GOLDEN[name]
+        assert report.completed == golden["completed"]
+        assert report.dropped == golden["dropped"]
+        assert report.requeued_on_failure == golden["requeued_on_failure"]
+        for field, value in golden.items():
+            if isinstance(value, float):
+                assert getattr(report, field) == pytest.approx(value, rel=1e-6), (name, field)

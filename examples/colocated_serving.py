@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Colocated (SARATHI-style) vs phase-split (Splitwise-style) serving.
+
+The paper's case study assumes phases run on *separate* Lite-GPU pools, but
+it cites SARATHI's chunked prefill as the main alternative: one pool whose
+instances piggyback bounded prompt chunks on decode iterations.  This
+example runs both deployment shapes on the same multi-tenant trace — a
+chatty short-output tenant merged with a long-prompt summarization tenant —
+at equal total SMs, under each scheduling policy bundle.
+
+Run:  python examples/colocated_serving.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import simulation_table
+from repro.cluster.policies import POLICY_BUNDLES
+from repro.cluster.scheduler import ColocatedPool, InstanceSpec, PhasePools
+from repro.cluster.simulator import ColocatedSimulator, ServingSimulator, SimConfig
+from repro.hardware.gpu import LITE_MEMBW, LITE_NETBW_FLOPS
+from repro.workloads.models import LLAMA3_70B
+from repro.workloads.traces import TraceConfig, generate_trace, merge_traces
+
+
+def multi_tenant_trace() -> list:
+    chat = generate_trace(
+        TraceConfig(rate=4.0, duration=60.0, prompt_tokens=500, output_tokens=200), seed=7
+    )
+    summarize = generate_trace(
+        TraceConfig(rate=2.0, duration=60.0, prompt_tokens=3000, output_tokens=80), seed=8
+    )
+    return merge_traces(chat, summarize)
+
+
+def main() -> None:
+    trace = multi_tenant_trace()
+    print(f"trace: {len(trace)} requests (chat + summarization tenants)\n")
+    config = SimConfig(max_sim_time=900.0)
+
+    # Equal silicon: 32 Lite GPUs either split 16/16 across phases or pooled.
+    split = PhasePools(
+        prefill=InstanceSpec(LLAMA3_70B, LITE_NETBW_FLOPS, 8),
+        n_prefill=2,
+        decode=InstanceSpec(LLAMA3_70B, LITE_MEMBW, 8),
+        n_decode=2,
+        max_prefill_batch=4,
+        max_decode_batch=256,
+    )
+    colocated = ColocatedPool(
+        instance=InstanceSpec(LLAMA3_70B, LITE_MEMBW, 8),
+        n_instances=4,
+        max_decode_batch=256,
+        chunk_tokens=512,
+    )
+
+    reports = {}
+    for policy in POLICY_BUNDLES.names():
+        reports[f"phase-split/{policy}"] = ServingSimulator(
+            split, config, policies=policy
+        ).run(trace)
+        reports[f"colocated/{policy}"] = ColocatedSimulator(
+            colocated, config, policies=policy
+        ).run(trace)
+
+    print(simulation_table(reports, title="Llama3-70B, 32 Lite GPUs, by shape and policy"))
+    print(
+        "\nReading: the phase-split shape buys prefill its own overclocked\n"
+        "pool, so TTFT stays low even when summarization prompts arrive.\n"
+        "The colocated shape is highly routing-sensitive: index-order\n"
+        "dispatch (fcfs) convoys prompts behind one instance's chunk queue,\n"
+        "while least-loaded routing spreads them and nearly matches the\n"
+        "split deployment — a policy change, not an engine change."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,7 @@ Run:  python examples/splitwise_serving.py
 
 from __future__ import annotations
 
-from repro.analysis.tables import format_table
+from repro.analysis.report import simulation_table
 from repro.cluster.scheduler import InstanceSpec, PhasePools
 from repro.cluster.simulator import ServingSimulator, SimConfig
 from repro.hardware.gpu import H100, LITE, LITE_MEMBW, LITE_NETBW_FLOPS
@@ -48,26 +48,11 @@ def main() -> None:
         ("32x Lite (specialized)", deployment(LITE_NETBW_FLOPS, LITE_MEMBW, 8)),
     ]
 
-    rows = []
     config = SimConfig(max_sim_time=900.0)
-    for name, pools in deployments:
-        report = ServingSimulator(pools, config).run(trace)
-        rows.append(
-            [
-                name,
-                report.completed,
-                f"{report.ttft_p50 * 1e3:.0f} / {report.ttft_p99 * 1e3:.0f}",
-                f"{report.tbt_mean * 1e3:.1f}",
-                f"{report.e2e_p50:.2f}",
-                f"{report.output_tokens_per_s:.0f}",
-                f"{report.decode_utilization:.2f}",
-            ]
-        )
-
+    reports = {name: ServingSimulator(pools, config).run(trace) for name, pools in deployments}
     print(
-        format_table(
-            ["deployment", "done", "TTFT p50/p99 ms", "TBT ms", "e2e p50 s", "tok/s", "dec util"],
-            rows,
+        simulation_table(
+            reports,
             title="Llama3-70B serving, equal total SMs (two prefill + two decode instances)",
         )
     )

@@ -7,8 +7,9 @@ regeneration and for eyeballing a full run without pytest.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
+from ..cluster.simulator import SimReport
 from ..core.roofline import RooflinePolicy
 from ..hardware.evolution import evolution_trends
 from ..hardware.yieldmodel import YieldModel, yield_gain
@@ -16,6 +17,33 @@ from ..hardware.cost import CostModel
 from ..network.switches import circuit_vs_packet_energy_gain
 from .figures import fig1_evolution_series, fig2_deployment_comparison, fig3a_prefill_series, fig3b_decode_series
 from .tables import format_table, render_fig3_panel, render_table1
+
+
+def simulation_table(reports: Dict[str, SimReport], title: str = "Serving simulation") -> str:
+    """Render one row per named :class:`SimReport` (CLI / example output).
+
+    The shared format for comparing deployments or policy bundles: SLO
+    metrics (TTFT, TBT), throughput, and the failure-recovery counters.
+    """
+    rows = []
+    for name, report in reports.items():
+        rows.append(
+            [
+                name,
+                report.completed,
+                f"{report.ttft_p50 * 1e3:.0f}/{report.ttft_p99 * 1e3:.0f}",
+                f"{report.tbt_mean * 1e3:.1f}",
+                f"{report.e2e_p50:.2f}",
+                f"{report.output_tokens_per_s:.0f}",
+                report.requeued_on_failure,
+                report.restarted_requests,
+            ]
+        )
+    headers = [
+        "deployment", "done", "TTFT p50/p99 ms", "TBT ms", "e2e p50 s",
+        "out tok/s", "requeued", "restarted",
+    ]
+    return format_table(headers, rows, title=title)
 
 
 def experiment_report(policy: RooflinePolicy | None = None) -> str:

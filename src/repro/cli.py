@@ -7,6 +7,8 @@ Usage::
     python -m repro report                       # everything
     python -m repro search --model Llama3-70B --gpu Lite+MemBW --phase decode
     python -m repro tco --model Llama3-70B
+    python -m repro simulate --shape phase-split --policy fcfs
+    python -m repro simulate --shape colocated --mtbf-hours 0.5
 
 All subcommands print plain text; nothing touches the network or disk.
 """
@@ -23,13 +25,20 @@ from .analysis.figures import (
     fig3a_prefill_series,
     fig3b_decode_series,
 )
-from .analysis.report import experiment_report
+from .analysis.report import experiment_report, simulation_table
 from .analysis.tables import format_table, render_fig3_panel, render_table1
+from .cluster.failures import FailureModel
+from .cluster.policies import POLICY_BUNDLES
+from .cluster.scheduler import ColocatedPool, InstanceSpec, PhasePools
+from .cluster.simulator import ColocatedSimulator, ServingSimulator, SimConfig
 from .cluster.spec import ClusterSpec
 from .core.search import search_best_config
+from .errors import LiteGPUError
 from .hardware.gpu import H100, get_gpu
 from .hardware.tco import cluster_tco, tokens_per_dollar_comparison
+from .units import HOUR
 from .workloads.models import get_model
+from .workloads.traces import TraceConfig, generate_trace
 
 
 def _cmd_table1(_: argparse.Namespace) -> None:
@@ -101,6 +110,58 @@ def _cmd_tco(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_simulate(args: argparse.Namespace) -> None:
+    model = get_model(args.model)
+    trace = generate_trace(
+        TraceConfig(
+            rate=args.rate,
+            duration=args.duration,
+            output_tokens=args.output_tokens,
+            output_spread=args.output_spread,
+        ),
+        seed=args.seed,
+    )
+    config = SimConfig(max_sim_time=args.max_sim_time, context_bucket=args.context_bucket)
+    failure_model = None
+    if args.mtbf_hours > 0:
+        failure_model = FailureModel(mtbf=args.mtbf_hours * HOUR, mttr=args.mttr_hours * HOUR)
+    if args.shape == "phase-split":
+        pools = PhasePools(
+            prefill=InstanceSpec(model, get_gpu(args.prefill_gpu), args.gpus_per_instance),
+            n_prefill=args.n_prefill,
+            decode=InstanceSpec(model, get_gpu(args.decode_gpu), args.gpus_per_instance),
+            n_decode=args.n_decode,
+            max_prefill_batch=args.max_prefill_batch,
+            max_decode_batch=args.max_decode_batch,
+        )
+        description = pools.describe()
+        simulator = ServingSimulator(
+            pools, config,
+            policies=args.policy, failure_model=failure_model, failure_seed=args.failure_seed,
+        )
+    else:
+        pool = ColocatedPool(
+            instance=InstanceSpec(model, get_gpu(args.gpu), args.gpus_per_instance),
+            n_instances=args.n_instances,
+            max_decode_batch=args.max_decode_batch,
+            chunk_tokens=args.chunk_tokens,
+        )
+        description = pool.describe()
+        simulator = ColocatedSimulator(
+            pool, config,
+            policies=args.policy, failure_model=failure_model, failure_seed=args.failure_seed,
+        )
+    report = simulator.run(trace)
+    failure_note = (
+        f"stochastic failures MTBF {args.mtbf_hours:g}h / MTTR {args.mttr_hours:g}h "
+        f"(seed {args.failure_seed})" if failure_model else "no failures"
+    )
+    print(f"{description}")
+    print(f"policy '{args.policy}', trace {len(trace)} requests @ {args.rate:g}/s, {failure_note}")
+    print(simulation_table({args.shape: report}))
+    print(report.describe())
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -125,13 +186,50 @@ def build_parser() -> argparse.ArgumentParser:
     tco.add_argument("--model", default="Llama3-70B")
     tco.add_argument("--gpu", default="Lite+MemBW")
     tco.set_defaults(fn=_cmd_tco)
+
+    simulate = sub.add_parser("simulate", help="run the discrete-event serving simulator")
+    simulate.add_argument("--shape", choices=("phase-split", "colocated"), default="phase-split")
+    simulate.add_argument("--model", default="Llama3-70B")
+    simulate.add_argument("--prefill-gpu", default="Lite+NetBW+FLOPS",
+                          help="prefill pool GPU (phase-split)")
+    simulate.add_argument("--decode-gpu", default="Lite+MemBW",
+                          help="decode pool GPU (phase-split)")
+    simulate.add_argument("--gpu", default="Lite+MemBW", help="pool GPU (colocated)")
+    simulate.add_argument("--gpus-per-instance", type=int, default=8)
+    simulate.add_argument("--n-prefill", type=int, default=2)
+    simulate.add_argument("--n-decode", type=int, default=2)
+    simulate.add_argument("--n-instances", type=int, default=4,
+                          help="pool size (colocated)")
+    simulate.add_argument("--max-prefill-batch", type=int, default=4)
+    simulate.add_argument("--max-decode-batch", type=int, default=256)
+    simulate.add_argument("--chunk-tokens", type=int, default=512,
+                          help="prefill chunk per mixed iteration (colocated)")
+    simulate.add_argument("--policy", default="fcfs", choices=POLICY_BUNDLES.names(),
+                          help="scheduling policy bundle")
+    simulate.add_argument("--rate", type=float, default=6.0, help="arrival rate (req/s)")
+    simulate.add_argument("--duration", type=float, default=40.0, help="trace length (s)")
+    simulate.add_argument("--output-tokens", type=int, default=150)
+    simulate.add_argument("--output-spread", type=float, default=0.5)
+    simulate.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+    simulate.add_argument("--max-sim-time", type=float, default=600.0)
+    simulate.add_argument("--context-bucket", type=int, default=1,
+                          help="service-time cache granularity (1 = exact)")
+    simulate.add_argument("--mtbf-hours", type=float, default=0.0,
+                          help="per-GPU MTBF for stochastic failures (0 = off)")
+    simulate.add_argument("--mttr-hours", type=float, default=0.25)
+    simulate.add_argument("--failure-seed", type=int, default=0)
+    simulate.set_defaults(fn=_cmd_simulate)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (returns an exit code)."""
     args = build_parser().parse_args(argv)
-    args.fn(args)
+    try:
+        args.fn(args)
+    except LiteGPUError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

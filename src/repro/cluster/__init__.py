@@ -8,21 +8,34 @@ Makes Section 3's systems opportunities executable:
 - :mod:`repro.cluster.availability` — Monte-Carlo availability + hot spares.
 - :mod:`repro.cluster.memory` — disaggregated memory pools and KV placement.
 - :mod:`repro.cluster.power_manager` — cluster-level clocking policies.
-- :mod:`repro.cluster.scheduler` — phase-split (Splitwise-style) scheduling.
-- :mod:`repro.cluster.simulator` — a discrete-event LLM serving simulator
-  whose service times come from the analytical model.
+- :mod:`repro.cluster.scheduler` — deployment shapes: phase-split
+  (Splitwise-style) and colocated (SARATHI-style) pools.
+- :mod:`repro.cluster.policies` — pluggable routing / batching / admission
+  / requeue policies, registered by name.
+- :mod:`repro.cluster.engine` — the discrete-event core: event heap,
+  instance state machines, memoized service times.
+- :mod:`repro.cluster.simulator` — the serving simulators (one per
+  deployment shape) whose service times come from the analytical model.
 """
 
 from .spec import ClusterSpec, lite_equivalent
 from .allocator import Allocation, AllocationRequest, ResourceAllocator, quantization_waste
 from .datacenter import RackPlan, RackSpec, floor_plan, lite_vs_h100_floor, plan_racks, reach_check
 from .provisioning import ProvisioningPlan, WorkloadForecast, phase_gpu_ratio, provision_pools
-from .failures import BlastRadius, FailureModel, InstanceReliability
+from .failures import BlastRadius, FailureModel, InstanceReliability, sample_failure_schedule
 from .availability import AvailabilityResult, SparePolicy, simulate_availability
 from .memory import DisaggregatedPool, KVPlacementPolicy, MemorySystem
 from .power_manager import ClusterPowerManager, PeakStrategy
-from .scheduler import PhasePools, PhaseSplitScheduler
-from .simulator import ServingSimulator, SimConfig, SimReport
+from .scheduler import ColocatedPool, InstanceSpec, PhasePools, PhaseSplitScheduler
+from .policies import POLICY_BUNDLES, PolicyBundle, get_policy_bundle
+from .engine import EventQueue, ServiceTimeProvider
+from .simulator import (
+    ColocatedSimulator,
+    CompletedRequest,
+    ServingSimulator,
+    SimConfig,
+    SimReport,
+)
 
 __all__ = [
     "ClusterSpec",
@@ -44,6 +57,7 @@ __all__ = [
     "BlastRadius",
     "FailureModel",
     "InstanceReliability",
+    "sample_failure_schedule",
     "AvailabilityResult",
     "SparePolicy",
     "simulate_availability",
@@ -52,8 +66,17 @@ __all__ = [
     "MemorySystem",
     "ClusterPowerManager",
     "PeakStrategy",
+    "ColocatedPool",
+    "InstanceSpec",
     "PhasePools",
     "PhaseSplitScheduler",
+    "POLICY_BUNDLES",
+    "PolicyBundle",
+    "get_policy_bundle",
+    "EventQueue",
+    "ServiceTimeProvider",
+    "ColocatedSimulator",
+    "CompletedRequest",
     "ServingSimulator",
     "SimConfig",
     "SimReport",

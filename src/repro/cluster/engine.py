@@ -1,0 +1,641 @@
+"""Generic discrete-event core of the serving simulator.
+
+The seed simulator was one 356-line ``run()`` with closure-bound state and
+hardcoded FCFS decisions.  This module is the refactored engine room:
+
+- :class:`EventQueue` — a time-ordered heap with FIFO tie-breaking, so
+  same-timestamp events replay in push order (determinism);
+- instance state machines (:class:`PrefillState`, :class:`DecodeState`,
+  :class:`ColocatedState`) — plain data advanced by the engines;
+- :class:`ServiceTimeProvider` — a memoizing oracle over the analytical
+  roofline model.  Every decode iteration used to re-run the full model;
+  caching on ``(batch, context-bucket)`` keys removes that from the hot
+  path (``context_bucket=1`` keeps results bit-exact, coarser buckets trade
+  ≤ one bucket of context for large wall-clock wins);
+- :class:`PhaseSplitEngine` and :class:`ColocatedEngine` — the two
+  deployment shapes, both driven by a :class:`repro.cluster.policies`
+  bundle instead of baked-in scheduling.
+
+With the default ``"fcfs"`` bundle and ``context_bucket=1``,
+:class:`PhaseSplitEngine` reproduces the seed simulator event-for-event
+and float-for-float on failure-free runs (golden-pinned in
+``benchmarks/test_serving_simulation.py``).  Failure handling is
+deliberately *better* than the seed: victims requeued after the arrival
+stream ends are re-dispatched immediately instead of stranding, and
+overlapping failures extend an outage rather than truncating it.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.chunked import MixedIteration, mixed_iteration_time
+from ..errors import SimulationError, SpecError
+from ..workloads.traces import Request
+from .policies import PolicyBundle
+from .scheduler import ColocatedPool, InstanceSpec, PhasePools
+
+__all__ = [
+    "EventQueue",
+    "ServiceTimeProvider",
+    "ActiveSequence",
+    "PrefillState",
+    "DecodeState",
+    "PartialPrefill",
+    "ColocatedState",
+    "CompletedRequest",
+    "PhaseSplitEngine",
+    "ColocatedEngine",
+]
+
+
+def require_kv_headroom(instance: InstanceSpec, pool_label: str) -> int:
+    """Return the instance's KV token capacity, raising if it has none.
+
+    The single source of the fail-fast guard used by both the simulators
+    (at construction) and the engines (at run setup).
+    """
+    capacity = instance.kv_token_capacity()
+    if capacity <= 0:
+        raise SpecError(f"{pool_label} instances have no KV capacity headroom")
+    return capacity
+
+
+class EventQueue:
+    """A time-ordered event heap with FIFO tie-breaking.
+
+    Events pushed at the same timestamp pop in push order (a monotonically
+    increasing sequence number breaks ties), which makes every simulation a
+    pure function of its inputs.
+
+    >>> q = EventQueue()
+    >>> q.push(2.0, "b"); q.push(1.0, "a"); q.push(1.0, "c")
+    >>> [q.pop()[1] for _ in range(len(q))]
+    ['a', 'c', 'b']
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, str, tuple]] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, kind: str, payload: tuple = ()) -> None:
+        """Schedule an event."""
+        heapq.heappush(self._heap, (time, next(self._seq), kind, payload))
+
+    def pop(self) -> Tuple[float, str, tuple]:
+        """Remove and return the earliest event as ``(time, kind, payload)``."""
+        time, _, kind, payload = heapq.heappop(self._heap)
+        return time, kind, payload
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class ServiceTimeProvider:
+    """Memoizing service-time oracle for one :class:`InstanceSpec`.
+
+    The analytical model is pure, so identical ``(batch, context)`` queries
+    always yield identical latencies — yet the seed simulator re-evaluated
+    the full roofline every decode iteration, which dominated long-trace
+    wall-clock.  This provider caches evaluations keyed on the batch and a
+    *context bucket*: with ``context_bucket=1`` results are bit-exact; with
+    a coarser bucket the context is rounded **up** to the next bucket edge
+    (a conservative latency estimate) and the hit rate soars.
+    """
+
+    def __init__(self, instance: InstanceSpec, context_bucket: int = 1, cache: bool = True) -> None:
+        if context_bucket < 1:
+            raise SpecError("context_bucket must be at least 1")
+        self.instance = instance
+        self.context_bucket = int(context_bucket)
+        self.cache_enabled = cache
+        self._cache: Dict[tuple, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _bucket(self, length: int) -> int:
+        length = max(1, int(length))
+        b = self.context_bucket
+        if b == 1:
+            return length
+        return ((length + b - 1) // b) * b
+
+    def _memo(self, key: tuple, compute) -> float:
+        if self.cache_enabled:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        self.misses += 1
+        value = compute()
+        if self.cache_enabled:
+            self._cache[key] = value
+        return value
+
+    def prefill_time(self, batch: int, prompt_len: int) -> float:
+        """Latency of one prefill batch (prompt length bucketed)."""
+        prompt = self._bucket(prompt_len)
+        return self._memo(
+            ("p", batch, prompt), lambda: self.instance.prefill_time(batch, prompt)
+        )
+
+    def decode_time(self, batch: int, context_len: int) -> float:
+        """Latency of one decode iteration (context bucketed)."""
+        context = self._bucket(context_len)
+        return self._memo(
+            ("d", batch, context), lambda: self.instance.decode_time(batch, context)
+        )
+
+    def mixed_time(self, decode_batch: int, context_len: int, chunk: int, prompt_len: int) -> float:
+        """Latency of one SARATHI-style mixed decode+chunk iteration."""
+        context = self._bucket(context_len)
+        prompt = self._bucket(prompt_len)
+        spec = self.instance
+
+        def compute() -> float:
+            iteration = MixedIteration(
+                decode_batch=decode_batch, context_len=context, chunk=chunk, prompt_len=prompt
+            )
+            return mixed_iteration_time(
+                spec.model, spec.gpu, spec.n_gpus, iteration, spec.policy
+            ).iteration_time
+
+        return self._memo(("m", decode_batch, context, chunk, prompt), compute)
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters and resident entries (for benchmarks/tests)."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._cache)}
+
+
+# --- instance state machines ------------------------------------------------
+
+
+@dataclass
+class ActiveSequence:
+    """A sequence resident in a decode (or colocated) instance."""
+
+    request: Request
+    generated: int = 0
+    ttft_done: float = 0.0
+    iteration_times: List[float] = field(default_factory=list)
+
+    @property
+    def context_len(self) -> int:
+        return self.request.prompt_tokens + self.generated
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.request.output_tokens
+
+
+@dataclass
+class PrefillState:
+    """One prefill instance: either idle, running a batch, or down."""
+
+    busy: bool = False
+    down_until: float = 0.0
+    busy_time: float = 0.0
+
+
+@dataclass
+class DecodeState:
+    """One decode instance running continuous batching."""
+
+    active: List[ActiveSequence] = field(default_factory=list)
+    busy_until: float = 0.0
+    running: bool = False
+    down_until: float = 0.0
+    busy_time: float = 0.0
+
+    def occupied_tokens(self) -> int:
+        return sum(s.request.total_tokens for s in self.active)
+
+
+@dataclass
+class PartialPrefill:
+    """A prompt being chunked through a colocated instance."""
+
+    request: Request
+    remaining: int
+
+
+@dataclass
+class ColocatedState:
+    """One colocated instance: decode batch + in-progress chunked prefill."""
+
+    active: List[ActiveSequence] = field(default_factory=list)
+    backlog: Deque[PartialPrefill] = field(default_factory=deque)
+    current: Optional[PartialPrefill] = None
+    busy_until: float = 0.0
+    running: bool = False
+    down_until: float = 0.0
+    busy_time: float = 0.0
+
+    def committed(self) -> int:
+        """Sequences holding a slot (decoding, chunking, or waiting to chunk)."""
+        return len(self.active) + len(self.backlog) + (1 if self.current else 0)
+
+    def occupied_tokens(self) -> int:
+        tokens = sum(s.request.total_tokens for s in self.active)
+        tokens += sum(p.request.total_tokens for p in self.backlog)
+        if self.current is not None:
+            tokens += self.current.request.total_tokens
+        return tokens
+
+    def has_work(self) -> bool:
+        return bool(self.active or self.backlog or self.current)
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """Per-request outcome."""
+
+    request: Request
+    ttft: float
+    e2e: float
+    mean_tbt: float
+    restarts: int = 0
+
+
+# --- engines ----------------------------------------------------------------
+
+
+class _EngineBase:
+    """Shared event loop: subclasses provide a ``handlers`` mapping."""
+
+    def __init__(self, config) -> None:
+        self.config = config
+        self.events = EventQueue()
+        self.now = 0.0
+        # Clock of the last *request-affecting* event.  Failure/recovery
+        # bookkeeping alone must not extend the reported duration: a
+        # stochastic schedule spans the whole horizon, and letting an idle
+        # cluster's repair events advance the workload clock would deflate
+        # every duration-normalized metric (tok/s, utilization).
+        self.work_time = 0.0
+        self.completed: List[CompletedRequest] = []
+        self.ttft: Dict[int, float] = {}
+        self.restarts: Dict[int, int] = {}
+        self.requeued = 0
+
+    def _record_ttft(self, request: Request, time: float) -> None:
+        # Keep the first-token-ever time: a failure-requeued request's second
+        # prefill must not overwrite its original TTFT.
+        self.ttft.setdefault(request.request_id, time - request.arrival)
+
+    def _record_restart(self, request: Request) -> None:
+        self.restarts[request.request_id] = self.restarts.get(request.request_id, 0) + 1
+        self.requeued += 1
+
+    def _complete(self, seq: ActiveSequence, finish: float) -> None:
+        request = seq.request
+        self.completed.append(
+            CompletedRequest(
+                request=request,
+                ttft=self.ttft.get(request.request_id, 0.0),
+                e2e=finish - request.arrival,
+                mean_tbt=float(np.mean(seq.iteration_times)),
+                restarts=self.restarts.get(request.request_id, 0),
+            )
+        )
+
+    def run(self, trace: Sequence[Request]) -> "_EngineBase":
+        """Drain the event heap up to the configured horizon."""
+        for request in trace:
+            self.events.push(request.arrival, "arrival", (request,))
+        for time, pool, index, duration in self.failures:
+            self.events.push(time, "failure", (pool, index, duration))
+        handlers = self.handlers()
+        horizon = self.config.max_sim_time
+        while self.events:
+            time, kind, payload = self.events.pop()
+            if time > horizon:
+                break
+            self.now = time
+            if kind not in ("failure", "recovered"):
+                self.work_time = time
+            handler = handlers.get(kind)
+            if handler is None:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind '{kind}'")
+            handler(time, payload)
+        return self
+
+    def handlers(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class PhaseSplitEngine(_EngineBase):
+    """Splitwise-style engine: a prefill pool feeding a decode pool.
+
+    With the ``"fcfs"`` bundle this replays the seed simulator exactly:
+    index-order instance scans, FIFO prefill batches sized by
+    ``max_prefill_batch``, greedy head-of-line decode admission within the
+    KV budget, and back-of-queue requeue when a failure drops KV state.
+    """
+
+    def __init__(
+        self,
+        pools: PhasePools,
+        config,
+        policies: PolicyBundle,
+        prefill_provider: ServiceTimeProvider,
+        decode_provider: ServiceTimeProvider,
+        failures: Sequence[Tuple[float, str, int, float]] = (),
+    ) -> None:
+        super().__init__(config)
+        self.pools = pools
+        self.policies = policies
+        self.prefill_provider = prefill_provider
+        self.decode_provider = decode_provider
+        self.kv_capacity = require_kv_headroom(pools.decode, "decode")
+        self.failures = sorted(failures)
+        self.prefill_queue: Deque[Request] = deque()
+        self.decode_queue: Deque[Request] = deque()
+        self.prefill_states = [PrefillState() for _ in range(pools.n_prefill)]
+        self.decode_states = [DecodeState() for _ in range(pools.n_decode)]
+        # Each pool gets its own routing instance so stateful policies
+        # (round-robin) rotate per pool instead of interleaving both pools
+        # through one shared counter.
+        self.prefill_routing = copy.copy(policies.routing)
+        self.decode_routing = copy.copy(policies.routing)
+
+    def handlers(self):
+        return {
+            "arrival": self._on_arrival,
+            "prefill_done": self._on_prefill_done,
+            "decode_iter": self._on_decode_iter,
+            "decode_admit": self._on_decode_admit,
+            "failure": self._on_failure,
+            "recovered": self._on_recovered,
+        }
+
+    # --- dispatch ----------------------------------------------------------
+
+    def _dispatch_prefill(self, time: float) -> None:
+        if not self.prefill_queue:
+            return
+        order = self.prefill_routing.order([s.busy_time for s in self.prefill_states])
+        for idx in order:
+            inst = self.prefill_states[idx]
+            if inst.busy or time < inst.down_until or not self.prefill_queue:
+                continue
+            batch = self.policies.prefill.select(self.prefill_queue, self.pools.max_prefill_batch)
+            if not batch:
+                continue
+            prompt = max(r.prompt_tokens for r in batch)
+            latency = self.prefill_provider.prefill_time(len(batch), prompt)
+            inst.busy = True
+            inst.busy_time += latency
+            self.events.push(time + latency, "prefill_done", (idx, tuple(batch)))
+
+    def _admit_decode(self, time: float) -> None:
+        if not self.decode_queue:
+            return
+        # Loads double as each instance's KV budget: admissions to one
+        # instance never change another's occupancy, so a single per-round
+        # scan feeds both the routing order and the budgets.
+        loads = [s.occupied_tokens() for s in self.decode_states]
+        order = self.decode_routing.order(loads)
+        for idx in order:
+            inst = self.decode_states[idx]
+            if time < inst.down_until or not self.decode_queue:
+                continue
+            slots = self.pools.max_decode_batch - len(inst.active)
+            budget = self.kv_capacity - loads[idx]
+            for request in self.policies.admission.select(self.decode_queue, slots, budget):
+                inst.active.append(ActiveSequence(request=request, ttft_done=time))
+            if inst.active and not inst.running:
+                inst.running = True
+                self.events.push(max(time, inst.busy_until), "decode_iter", (idx,))
+
+    # --- handlers ----------------------------------------------------------
+
+    def _on_arrival(self, now: float, payload: tuple) -> None:
+        (request,) = payload
+        self.prefill_queue.append(request)
+        self._dispatch_prefill(now)
+
+    def _on_prefill_done(self, now: float, payload: tuple) -> None:
+        idx, batch = payload
+        self.prefill_states[idx].busy = False
+        for request in batch:
+            self._record_ttft(request, now)
+            self.decode_queue.append(request)
+        self._admit_decode(now)
+        self._dispatch_prefill(now)
+
+    def _on_decode_iter(self, now: float, payload: tuple) -> None:
+        (idx,) = payload
+        inst = self.decode_states[idx]
+        if now < inst.down_until or not inst.active:
+            inst.running = False
+            return
+        batch = len(inst.active)
+        context = int(np.mean([s.context_len for s in inst.active]))
+        latency = max(
+            self.decode_provider.decode_time(batch, max(1, context)),
+            self.config.min_decode_interval,
+        )
+        inst.busy_time += latency
+        finish = now + latency
+        inst.busy_until = finish
+        for seq in inst.active:
+            seq.generated += 1
+            seq.iteration_times.append(latency)
+        still_active: List[ActiveSequence] = []
+        for seq in inst.active:
+            if seq.done:
+                self._complete(seq, finish)
+            else:
+                still_active.append(seq)
+        inst.active = still_active
+        self.events.push(finish, "decode_admit", (idx,))
+
+    def _on_decode_admit(self, now: float, payload: tuple) -> None:
+        (idx,) = payload
+        inst = self.decode_states[idx]
+        inst.running = False
+        self._admit_decode(now)
+        if inst.active and not inst.running and now >= inst.down_until:
+            inst.running = True
+            self.events.push(now, "decode_iter", (idx,))
+
+    def _on_failure(self, now: float, payload: tuple) -> None:
+        pool, index, duration = payload
+        # max(): a short overlapping failure must not cut an outage short
+        # (scripted and sampled schedules compose, so overlap is possible).
+        if pool == "prefill":
+            # An in-flight batch still finishes (its completion event is
+            # already queued); prefill state is lost only for queued work.
+            state = self.prefill_states[index]
+            state.down_until = max(state.down_until, now + duration)
+        else:
+            inst = self.decode_states[index]
+            inst.down_until = max(inst.down_until, now + duration)
+            inst.running = False
+            victims = [seq.request for seq in inst.active]  # KV lost
+            self.policies.requeue.requeue_all(victims, self.prefill_queue)
+            for request in victims:
+                self._record_restart(request)
+            inst.active.clear()
+            # Victims must not strand: once the arrival stream has ended
+            # nothing else would wake an idle prefill pool to re-serve them.
+            self._dispatch_prefill(now)
+        self.events.push(now + duration, "recovered", (pool, index))
+
+    def _on_recovered(self, now: float, payload: tuple) -> None:
+        pool, _ = payload
+        if pool == "prefill":
+            self._dispatch_prefill(now)
+        else:
+            self._admit_decode(now)
+
+
+class ColocatedEngine(_EngineBase):
+    """SARATHI-style engine: one pool interleaving chunked prefill + decode.
+
+    Each instance runs mixed iterations: the continuous decode batch
+    advances one token while up to ``chunk_tokens`` of the oldest admitted
+    prompt are prefetched in the same pass.  When a prompt's last chunk
+    lands, its first token is out (TTFT) and the sequence joins the decode
+    batch.  A failure drops the instance's KV state — decoding *and*
+    partially prefilled sequences restart from the shared pending queue.
+    """
+
+    def __init__(
+        self,
+        pool: ColocatedPool,
+        config,
+        policies: PolicyBundle,
+        provider: ServiceTimeProvider,
+        failures: Sequence[Tuple[float, str, int, float]] = (),
+    ) -> None:
+        super().__init__(config)
+        self.pool = pool
+        self.policies = policies
+        self.provider = provider
+        self.kv_capacity = require_kv_headroom(pool.instance, "colocated")
+        self.failures = sorted(failures)
+        self.pending: Deque[Request] = deque()
+        self.states = [ColocatedState() for _ in range(pool.n_instances)]
+        # Private copy so a caller-held bundle's stateful routing (round
+        # robin) is not mutated across runs.
+        self.routing = copy.copy(policies.routing)
+
+    def handlers(self):
+        return {
+            "arrival": self._on_arrival,
+            "iter": self._on_iter,
+            "admit": self._on_admit,
+            "failure": self._on_failure,
+            "recovered": self._on_recovered,
+        }
+
+    def _dispatch(self, time: float) -> None:
+        if not self.pending:
+            return
+        loads = [s.occupied_tokens() for s in self.states]
+        order = self.routing.order(loads)
+        for idx in order:
+            inst = self.states[idx]
+            if time < inst.down_until or not self.pending:
+                continue
+            slots = self.pool.max_decode_batch - inst.committed()
+            budget = self.kv_capacity - loads[idx]
+            for request in self.policies.admission.select(self.pending, slots, budget):
+                inst.backlog.append(PartialPrefill(request, request.prompt_tokens))
+            if inst.has_work() and not inst.running:
+                inst.running = True
+                self.events.push(max(time, inst.busy_until), "iter", (idx,))
+
+    def _on_arrival(self, now: float, payload: tuple) -> None:
+        (request,) = payload
+        self.pending.append(request)
+        self._dispatch(now)
+
+    def _on_iter(self, now: float, payload: tuple) -> None:
+        (idx,) = payload
+        inst = self.states[idx]
+        if now < inst.down_until:
+            inst.running = False
+            return
+        if inst.current is None and inst.backlog:
+            inst.current = inst.backlog.popleft()
+        chunk = min(self.pool.chunk_tokens, inst.current.remaining) if inst.current else 0
+        batch = len(inst.active)
+        if batch == 0 and chunk == 0:
+            inst.running = False
+            return
+        context = int(np.mean([s.context_len for s in inst.active])) if inst.active else 1
+        prompt_len = inst.current.request.prompt_tokens if inst.current else 1
+        latency = max(
+            self.provider.mixed_time(batch, max(1, context), chunk, prompt_len),
+            self.config.min_decode_interval,
+        )
+        inst.busy_time += latency
+        finish = now + latency
+        inst.busy_until = finish
+        for seq in inst.active:
+            seq.generated += 1
+            seq.iteration_times.append(latency)
+        if inst.current is not None:
+            inst.current.remaining -= chunk
+            if inst.current.remaining <= 0:
+                request = inst.current.request
+                self._record_ttft(request, finish)
+                inst.active.append(ActiveSequence(request=request, ttft_done=finish))
+                inst.current = None
+        still_active: List[ActiveSequence] = []
+        for seq in inst.active:
+            if seq.done:
+                self._complete(seq, finish)
+            else:
+                still_active.append(seq)
+        inst.active = still_active
+        self.events.push(finish, "admit", (idx,))
+
+    def _on_admit(self, now: float, payload: tuple) -> None:
+        (idx,) = payload
+        inst = self.states[idx]
+        inst.running = False
+        self._dispatch(now)
+        if inst.has_work() and not inst.running and now >= inst.down_until:
+            inst.running = True
+            self.events.push(now, "iter", (idx,))
+
+    def _on_failure(self, now: float, payload: tuple) -> None:
+        _, index, duration = payload
+        inst = self.states[index]
+        inst.down_until = max(inst.down_until, now + duration)
+        inst.running = False
+        lost = [seq.request for seq in inst.active]
+        if inst.current is not None:
+            lost.append(inst.current.request)
+        for request in lost:  # KV / partial prefill lost: a real restart
+            self._record_restart(request)
+        # One order-preserving batch: real victims ahead of the backlog
+        # (admitted but never chunked — no work lost, no restart counted).
+        self.policies.requeue.requeue_all(
+            lost + [partial.request for partial in inst.backlog], self.pending
+        )
+        inst.active.clear()
+        inst.backlog.clear()
+        inst.current = None
+        # Healthy idle instances pick the victims up now, not at repair time.
+        self._dispatch(now)
+        self.events.push(now + duration, "recovered", (index,))
+
+    def _on_recovered(self, now: float, payload: tuple) -> None:
+        self._dispatch(now)

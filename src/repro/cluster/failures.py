@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import List, Tuple
 
 import numpy as np
 
@@ -152,6 +153,52 @@ def fleet_available_capacity(
         raise SpecError("n_gpus must be divisible by instance_size")
     instance = InstanceReliability(instance_size, model)
     return instance.instance_availability
+
+
+def sample_failure_schedule(
+    model: FailureModel,
+    pool: str,
+    n_instances: int,
+    horizon: float,
+    seed: int = 0,
+    gpus_per_instance: int = 1,
+    rng: np.random.Generator | None = None,
+) -> List[Tuple[float, str, int, float]]:
+    """Sample a stochastic failure schedule for one instance pool.
+
+    Each instance of ``gpus_per_instance`` GPUs is a series system: its
+    time-to-failure is the minimum of per-GPU Weibull lifetimes drawn from
+    ``model``, and after each failure it is down for ``model.mttr`` seconds
+    before the clock restarts.  The result is a sorted list of
+    ``(time, pool, index, repair_duration)`` tuples — exactly the scripted
+    format the serving simulators accept, so sampled and hand-written
+    schedules compose.  Deterministic for a given ``seed`` (or ``rng``).
+
+    >>> schedule = sample_failure_schedule(
+    ...     FailureModel(mtbf=200.0, mttr=50.0), "decode", 2, horizon=1000.0, seed=7)
+    >>> all(t < 1000.0 and d == 50.0 for t, _, _, d in schedule)
+    True
+    >>> schedule == sample_failure_schedule(
+    ...     FailureModel(mtbf=200.0, mttr=50.0), "decode", 2, horizon=1000.0, seed=7)
+    True
+    """
+    if n_instances <= 0 or gpus_per_instance <= 0:
+        raise SpecError("n_instances and gpus_per_instance must be positive")
+    if horizon <= 0:
+        raise SpecError("horizon must be positive")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    schedule: List[Tuple[float, str, int, float]] = []
+    for index in range(n_instances):
+        t = 0.0
+        while True:
+            lifetime = float(model.sample_lifetimes(gpus_per_instance, rng).min())
+            t += lifetime
+            if t >= horizon:
+                break
+            schedule.append((t, pool, index, model.mttr))
+            t += model.mttr
+    return sorted(schedule)
 
 
 def scaled_lite_failure_model(parent: FailureModel, split: int, area_scaling: bool = True) -> FailureModel:

@@ -1,15 +1,26 @@
-"""Phase-split scheduling: Splitwise-style prefill and decode pools.
+"""Deployment shapes: phase-split (Splitwise-style) and colocated pools.
 
 The paper's case study assumes *"different phases can execute on different
 Lite-GPU clusters"* (citing Splitwise / DistServe).  This module provides the
-static description of such a deployment — how many instances of which GPU
-type serve each phase — plus admission logic; the dynamics live in
+static description of the deployments the simulator can run — how many
+instances of which GPU type serve which phase — plus the seed admission
+logic; the dynamics live in :mod:`repro.cluster.engine` and
 :mod:`repro.cluster.simulator`.
+
+Two shapes:
+
+- :class:`PhasePools` — dedicated prefill and decode pools (Splitwise);
+- :class:`ColocatedPool` — one pool whose instances interleave chunked
+  prefill with decode (SARATHI-style, via :mod:`repro.core.chunked`).
 
 An **instance** is one tensor-parallel replica of the model (``n_gpus`` GPUs
 of one type).  Its performance envelope comes straight from the analytical
 model: prefill time as a function of batch, decode iteration time as a
 function of (batch, context), and the KV-token capacity bound.
+
+:class:`PhaseSplitScheduler` is kept as the seed's admission API; its
+behaviour is exactly the ``"fcfs"`` bundle of
+:mod:`repro.cluster.policies`, of which it is now a thin wrapper.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ from ..core.roofline import RooflinePolicy
 from ..errors import SpecError
 from ..hardware.gpu import GPUSpec
 from ..workloads.transformer import ModelSpec
+from .policies import FCFSAdmission
 
 
 @dataclass(frozen=True)
@@ -118,6 +130,49 @@ class PhasePools:
         )
 
 
+@dataclass(frozen=True)
+class ColocatedPool:
+    """A colocated deployment: one pool interleaving prefill and decode.
+
+    Every instance runs SARATHI-style mixed iterations — a continuous decode
+    batch plus up to ``chunk_tokens`` of one queued prompt — so prefill work
+    rides in decode's memory-bound shadow instead of occupying a dedicated
+    pool.  ``max_decode_batch`` bounds concurrent sequences per instance
+    (admitted prefills count against it).
+    """
+
+    instance: InstanceSpec
+    n_instances: int
+    max_decode_batch: int = 256
+    chunk_tokens: int = 512
+
+    def __post_init__(self) -> None:
+        if self.n_instances <= 0:
+            raise SpecError("instance count must be positive")
+        if self.max_decode_batch <= 0:
+            raise SpecError("max_decode_batch must be positive")
+        if self.chunk_tokens <= 0:
+            raise SpecError("chunk_tokens must be positive")
+
+    @property
+    def total_gpus(self) -> int:
+        """All GPUs in the pool."""
+        return self.n_instances * self.instance.n_gpus
+
+    @property
+    def total_sms(self) -> int:
+        """All SMs in the pool (for efficiency normalization)."""
+        return self.total_gpus * self.instance.gpu.sms
+
+    def describe(self) -> str:
+        """One-line deployment summary."""
+        return (
+            f"colocated {self.n_instances}x[{self.instance.n_gpus}x "
+            f"{self.instance.gpu.name}] for {self.instance.model.name} "
+            f"(chunk {self.chunk_tokens} tok)"
+        )
+
+
 class PhaseSplitScheduler:
     """Admission decisions for the two pools (used by the simulator).
 
@@ -154,11 +209,4 @@ class PhaseSplitScheduler:
             raise SpecError("occupancy must be non-negative")
         slots = self.pools.max_decode_batch - occupied_slots
         budget = self._decode_capacity - occupied_tokens
-        admitted = 0
-        for tokens in queued_tokens:
-            if slots <= 0 or budget < tokens:
-                break
-            admitted += 1
-            slots -= 1
-            budget -= tokens
-        return admitted
+        return len(FCFSAdmission().admit_footprints(queued_tokens, slots, budget))

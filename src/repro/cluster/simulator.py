@@ -1,108 +1,100 @@
-"""Discrete-event LLM serving simulator over a phase-split deployment.
+"""Discrete-event LLM serving simulators over pluggable deployments.
 
-The analytical model (Section 4's roofline) gives *service times*; this
-simulator adds the *queueing* the paper's systems sections reason about:
+The analytical model (Section 4's roofline) gives *service times*; the
+simulators add the *queueing* the paper's systems sections reason about:
 request arrivals, batch formation, prefill-to-decode handoff, continuous
-decode batching, and (optionally) GPU failures that take a whole instance
-offline — the software blast radius of Section 3.
+decode batching, and GPU failures that take a whole instance offline — the
+software blast radius of Section 3.
 
-Mechanics
----------
+The heavy lifting lives one layer down:
 
-- **Prefill pool**: each instance serves one FIFO batch at a time (up to
-  ``max_prefill_batch`` requests); the batch's latency comes from
-  :func:`repro.core.inference.prefill_pass`.  TTFT is recorded at batch
-  completion.
-- **Decode pool**: each instance runs continuous batching.  At every
-  iteration boundary it admits queued sequences within its KV budget,
-  advances all active sequences one token (iteration latency from
-  :func:`repro.core.inference.decode_iteration` at the current batch and
-  mean context), and retires finished sequences.
-- **Failures**: ``(time, pool, index, repair_duration)`` tuples knock an
-  instance out; its in-flight requests lose their KV state and are re-queued
-  for prefill (the recovery cost the paper wants hot spares to hide).
+- :mod:`repro.cluster.engine` — the event core, instance state machines,
+  and the memoizing :class:`~repro.cluster.engine.ServiceTimeProvider`;
+- :mod:`repro.cluster.policies` — pluggable routing / batching / admission
+  / requeue policies (the seed's hardcoded behaviour is the ``"fcfs"``
+  bundle).
 
-Determinism: simulation is fully determined by the trace and config.
+Two deployment shapes share one report format:
+
+- :class:`ServingSimulator` — a Splitwise-style :class:`PhasePools`
+  deployment (dedicated prefill and decode pools);
+- :class:`ColocatedSimulator` — a SARATHI-style :class:`ColocatedPool`
+  where every instance interleaves chunked prefill with decode.
+
+Failures can be scripted as ``(time, pool, index, repair_duration)`` tuples
+and/or sampled stochastically from a :class:`FailureModel` with a seeded
+RNG (:func:`repro.cluster.failures.sample_failure_schedule`); in-flight
+requests on a failed instance lose their KV state and restart from prefill.
+
+Determinism: simulation is fully determined by the trace, the deployment,
+the policy bundle, and the failure schedule (scripted or seeded).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import SimulationError, SpecError
+from ..errors import SpecError
 from ..workloads.traces import Request
-from .scheduler import PhasePools, PhaseSplitScheduler
+from .engine import (
+    ColocatedEngine,
+    CompletedRequest,
+    PhaseSplitEngine,
+    ServiceTimeProvider,
+    require_kv_headroom,
+)
+from .failures import FailureModel, sample_failure_schedule
+from .policies import PolicyBundle, get_policy_bundle
+from .scheduler import ColocatedPool, PhasePools
+
+__all__ = [
+    "SimConfig",
+    "SimReport",
+    "CompletedRequest",
+    "ServingSimulator",
+    "ColocatedSimulator",
+]
 
 
 @dataclass(frozen=True)
 class SimConfig:
-    """Simulator knobs beyond the deployment itself."""
+    """Simulator knobs beyond the deployment itself.
+
+    ``context_bucket`` controls the :class:`ServiceTimeProvider` cache key
+    granularity — 1 is bit-exact, coarser buckets round contexts up to the
+    bucket edge and trade ≤ one bucket of context for wall-clock speed.
+    ``cache_service_times=False`` disables memoization entirely (used by
+    the perf benchmark to measure the cache's win).
+    """
 
     max_sim_time: float = 3600.0
     min_decode_interval: float = 1e-4  # guard against zero-length iterations
+    context_bucket: int = 1
+    cache_service_times: bool = True
 
     def __post_init__(self) -> None:
         if self.max_sim_time <= 0:
             raise SpecError("max_sim_time must be positive")
         if self.min_decode_interval <= 0:
             raise SpecError("min_decode_interval must be positive")
-
-
-@dataclass
-class _ActiveSeq:
-    """A sequence resident in a decode instance."""
-
-    request: Request
-    generated: int = 0
-    ttft_done: float = 0.0
-    iteration_times: List[float] = field(default_factory=list)
-
-    @property
-    def context_len(self) -> int:
-        return self.request.prompt_tokens + self.generated
-
-    @property
-    def done(self) -> bool:
-        return self.generated >= self.request.output_tokens
-
-
-@dataclass
-class _DecodeInstance:
-    active: List[_ActiveSeq] = field(default_factory=list)
-    busy_until: float = 0.0
-    running: bool = False
-    down_until: float = 0.0
-    busy_time: float = 0.0
-
-    def occupied_tokens(self) -> int:
-        return sum(s.request.total_tokens for s in self.active)
-
-
-@dataclass
-class _PrefillInstance:
-    busy: bool = False
-    down_until: float = 0.0
-    busy_time: float = 0.0
-
-
-@dataclass(frozen=True)
-class CompletedRequest:
-    """Per-request outcome."""
-
-    request: Request
-    ttft: float
-    e2e: float
-    mean_tbt: float
+        if self.context_bucket < 1:
+            raise SpecError("context_bucket must be at least 1")
 
 
 @dataclass(frozen=True)
 class SimReport:
-    """Aggregate simulation outcome."""
+    """Aggregate simulation outcome.
+
+    With zero completed requests every latency statistic is NaN — never
+    0.0, which would read as perfect latency.  ``requeued_on_failure``
+    counts lost-work requeue *events*; ``restarted_requests`` counts
+    distinct requests that restarted at least once.  ``duration`` is the
+    clock of the last request-affecting event, so failure/repair
+    bookkeeping on an idle cluster does not dilute the normalized metrics.
+    """
 
     completed: int
     dropped: int
@@ -117,6 +109,7 @@ class SimReport:
     prefill_utilization: float
     decode_utilization: float
     requeued_on_failure: int
+    restarted_requests: int = 0
 
     def describe(self) -> str:
         """Multi-line human-readable summary."""
@@ -128,228 +121,180 @@ class SimReport:
             f"{self.output_tokens_per_s:.0f} output tok/s\n"
             f"  utilization prefill {self.prefill_utilization:.2f} "
             f"decode {self.decode_utilization:.2f}, "
-            f"requeued on failure {self.requeued_on_failure}"
+            f"requeued on failure {self.requeued_on_failure} "
+            f"({self.restarted_requests} requests restarted)"
         )
 
 
+def _percentile(values: np.ndarray, q: float) -> float:
+    return float(np.percentile(values, q)) if values.size else float("nan")
+
+
+def _build_report(
+    completed: List[CompletedRequest],
+    trace: Sequence[Request],
+    duration: float,
+    prefill_busy: Sequence[float],
+    decode_busy: Sequence[float],
+    requeued: int,
+    restarted: int,
+) -> SimReport:
+    duration = max(duration, 1e-9)
+    ttfts = np.array([c.ttft for c in completed])
+    tbts = np.array([c.mean_tbt for c in completed])
+    e2es = np.array([c.e2e for c in completed])
+    out_tokens = sum(c.request.output_tokens for c in completed)
+    prefill_util = float(np.mean(prefill_busy) / duration)
+    decode_util = float(np.mean(decode_busy) / duration)
+    return SimReport(
+        completed=len(completed),
+        dropped=len(trace) - len(completed),
+        duration=duration,
+        ttft_p50=_percentile(ttfts, 50),
+        ttft_p99=_percentile(ttfts, 99),
+        tbt_mean=float(np.mean(tbts)) if tbts.size else float("nan"),
+        tbt_p99=_percentile(tbts, 99),
+        e2e_p50=_percentile(e2es, 50),
+        e2e_p99=_percentile(e2es, 99),
+        output_tokens_per_s=out_tokens / duration,
+        prefill_utilization=min(1.0, prefill_util),
+        decode_utilization=min(1.0, decode_util),
+        requeued_on_failure=requeued,
+        restarted_requests=restarted,
+    )
+
+
+def _validate_failures(
+    failures: Sequence[Tuple[float, str, int, float]],
+    limits: Dict[str, int],
+) -> List[Tuple[float, str, int, float]]:
+    failures = sorted(failures)
+    pools = "/".join(f"'{name}'" for name in limits)
+    for time, pool, index, duration in failures:
+        if pool not in limits:
+            raise SpecError(f"failure pool must be {pools}")
+        if not 0 <= index < limits[pool]:
+            raise SpecError(f"failure instance index {index} out of range")
+        if time < 0 or duration <= 0:
+            raise SpecError("failure time/duration must be positive")
+    return failures
+
+
 class ServingSimulator:
-    """Event-driven simulation of a :class:`PhasePools` deployment."""
+    """Event-driven simulation of a :class:`PhasePools` deployment.
+
+    ``policies`` selects a :class:`PolicyBundle` by name or instance (see
+    :data:`repro.cluster.policies.POLICY_BUNDLES`); the default ``"fcfs"``
+    reproduces the seed simulator exactly.  ``failure_model`` adds
+    stochastic instance failures (seeded by ``failure_seed``) on top of any
+    scripted ``failures``.
+    """
 
     def __init__(
         self,
         pools: PhasePools,
         config: SimConfig | None = None,
         failures: Sequence[Tuple[float, str, int, float]] = (),
+        *,
+        policies: PolicyBundle | str | None = None,
+        failure_model: Optional[FailureModel] = None,
+        failure_seed: int = 0,
     ) -> None:
         self.pools = pools
-        self.scheduler = PhaseSplitScheduler(pools)
+        require_kv_headroom(pools.decode, "decode")  # fail fast, before run()
         self.config = config or SimConfig()
-        self.failures = sorted(failures)
-        for time, pool, index, duration in self.failures:
-            if pool not in ("prefill", "decode"):
-                raise SpecError("failure pool must be 'prefill' or 'decode'")
-            limit = pools.n_prefill if pool == "prefill" else pools.n_decode
-            if not 0 <= index < limit:
-                raise SpecError(f"failure instance index {index} out of range")
-            if time < 0 or duration <= 0:
-                raise SpecError("failure time/duration must be positive")
-
-    # --- public API ---------------------------------------------------------
+        self._policy_spec = policies
+        all_failures = list(failures)
+        if failure_model is not None:
+            horizon = self.config.max_sim_time
+            all_failures += sample_failure_schedule(
+                failure_model, "prefill", pools.n_prefill, horizon,
+                seed=failure_seed, gpus_per_instance=pools.prefill.n_gpus,
+            )
+            all_failures += sample_failure_schedule(
+                failure_model, "decode", pools.n_decode, horizon,
+                seed=failure_seed + 1, gpus_per_instance=pools.decode.n_gpus,
+            )
+        self.failures = _validate_failures(
+            all_failures, {"prefill": pools.n_prefill, "decode": pools.n_decode}
+        )
+        self.prefill_provider = ServiceTimeProvider(
+            pools.prefill, self.config.context_bucket, self.config.cache_service_times
+        )
+        self.decode_provider = ServiceTimeProvider(
+            pools.decode, self.config.context_bucket, self.config.cache_service_times
+        )
 
     def run(self, trace: Sequence[Request]) -> SimReport:
         """Simulate the trace to completion (or the time horizon).
 
         >>> # see examples/splitwise_serving.py for an end-to-end run
         """
-        events: List[Tuple[float, int, str, tuple]] = []
-        seq = itertools.count()
-
-        def push(time: float, kind: str, payload: tuple = ()) -> None:
-            heapq.heappush(events, (time, next(seq), kind, payload))
-
-        prefill_queue: List[Request] = []
-        decode_queue: List[Request] = []
-        ttft: Dict[int, float] = {}
-        prefill_instances = [_PrefillInstance() for _ in range(self.pools.n_prefill)]
-        decode_instances = [_DecodeInstance() for _ in range(self.pools.n_decode)]
-        completed: List[CompletedRequest] = []
-        requeued = 0
-        now = 0.0
-
-        for request in trace:
-            push(request.arrival, "arrival", (request,))
-        for time, pool, index, duration in self.failures:
-            push(time, "failure", (pool, index, duration))
-
-        # --- helpers bound to local state -------------------------------------
-
-        def dispatch_prefill(time: float) -> None:
-            for idx, inst in enumerate(prefill_instances):
-                if inst.busy or time < inst.down_until or not prefill_queue:
-                    continue
-                take = self.scheduler.form_prefill_batch(len(prefill_queue))
-                if take == 0:
-                    continue
-                batch = [prefill_queue.pop(0) for _ in range(take)]
-                prompt = max(r.prompt_tokens for r in batch)
-                latency = self.pools.prefill.prefill_time(len(batch), prompt)
-                inst.busy = True
-                inst.busy_time += latency
-                push(time + latency, "prefill_done", (idx, tuple(batch)))
-
-        def admit_decode(time: float) -> None:
-            for idx, inst in enumerate(decode_instances):
-                if time < inst.down_until or not decode_queue:
-                    continue
-                footprints = [r.total_tokens for r in decode_queue]
-                n = self.scheduler.decode_admission(
-                    footprints, len(inst.active), inst.occupied_tokens()
-                )
-                for _ in range(n):
-                    request = decode_queue.pop(0)
-                    inst.active.append(_ActiveSeq(request=request, ttft_done=time))
-                if inst.active and not inst.running:
-                    inst.running = True
-                    push(max(time, inst.busy_until), "decode_iter", (idx,))
-
-        def fail_instance(time: float, pool: str, index: int, duration: float) -> int:
-            count = 0
-            if pool == "prefill":
-                prefill_instances[index].down_until = time + duration
-                # an in-flight batch finishes (completion event already queued);
-                # modeling choice: prefill state is lost only for queued work.
-            else:
-                inst = decode_instances[index]
-                inst.down_until = time + duration
-                inst.running = False
-                for seq_state in inst.active:
-                    prefill_queue.append(seq_state.request)  # KV lost: re-prefill
-                    count += 1
-                inst.active.clear()
-            return count
-
-        # --- event loop ---------------------------------------------------------
-
-        while events:
-            time, _, kind, payload = heapq.heappop(events)
-            if time > self.config.max_sim_time:
-                break
-            now = time
-
-            if kind == "arrival":
-                (request,) = payload
-                prefill_queue.append(request)
-                dispatch_prefill(now)
-
-            elif kind == "prefill_done":
-                idx, batch = payload
-                prefill_instances[idx].busy = False
-                for request in batch:
-                    ttft[request.request_id] = now - request.arrival
-                    decode_queue.append(request)
-                admit_decode(now)
-                dispatch_prefill(now)
-
-            elif kind == "decode_iter":
-                (idx,) = payload
-                inst = decode_instances[idx]
-                if now < inst.down_until:
-                    inst.running = False
-                    continue
-                if not inst.active:
-                    inst.running = False
-                    continue
-                batch = len(inst.active)
-                context = int(np.mean([s.context_len for s in inst.active]))
-                latency = max(
-                    self.pools.decode.decode_time(batch, max(1, context)),
-                    self.config.min_decode_interval,
-                )
-                inst.busy_time += latency
-                finish = now + latency
-                inst.busy_until = finish
-                for seq_state in inst.active:
-                    seq_state.generated += 1
-                    seq_state.iteration_times.append(latency)
-                still_active: List[_ActiveSeq] = []
-                for seq_state in inst.active:
-                    if seq_state.done:
-                        request = seq_state.request
-                        completed.append(
-                            CompletedRequest(
-                                request=request,
-                                ttft=ttft.get(request.request_id, 0.0),
-                                e2e=finish - request.arrival,
-                                mean_tbt=float(np.mean(seq_state.iteration_times)),
-                            )
-                        )
-                    else:
-                        still_active.append(seq_state)
-                inst.active = still_active
-                push(finish, "decode_admit", (idx,))
-
-            elif kind == "decode_admit":
-                (idx,) = payload
-                inst = decode_instances[idx]
-                inst.running = False
-                admit_decode(now)
-                if inst.active and not inst.running and now >= inst.down_until:
-                    inst.running = True
-                    push(now, "decode_iter", (idx,))
-
-            elif kind == "failure":
-                pool, index, duration = payload
-                requeued += fail_instance(now, pool, index, duration)
-                push(now + duration, "recovered", (pool, index))
-
-            elif kind == "recovered":
-                pool, index = payload
-                if pool == "prefill":
-                    dispatch_prefill(now)
-                else:
-                    admit_decode(now)
-
-            else:  # pragma: no cover - defensive
-                raise SimulationError(f"unknown event kind '{kind}'")
-
-        return self._report(completed, trace, now, prefill_instances, decode_instances, requeued)
-
-    # --- reporting -----------------------------------------------------------
-
-    def _report(
-        self,
-        completed: List[CompletedRequest],
-        trace: Sequence[Request],
-        duration: float,
-        prefill_instances: List[_PrefillInstance],
-        decode_instances: List[_DecodeInstance],
-        requeued: int,
-    ) -> SimReport:
-        duration = max(duration, 1e-9)
-        if completed:
-            ttfts = np.array([c.ttft for c in completed])
-            tbts = np.array([c.mean_tbt for c in completed])
-            e2es = np.array([c.e2e for c in completed])
-            out_tokens = sum(c.request.output_tokens for c in completed)
-        else:
-            ttfts = tbts = e2es = np.array([0.0])
-            out_tokens = 0
-        prefill_util = float(
-            np.mean([i.busy_time for i in prefill_instances]) / duration
+        engine = PhaseSplitEngine(
+            self.pools,
+            self.config,
+            get_policy_bundle(self._policy_spec),
+            self.prefill_provider,
+            self.decode_provider,
+            self.failures,
         )
-        decode_util = float(np.mean([i.busy_time for i in decode_instances]) / duration)
-        return SimReport(
-            completed=len(completed),
-            dropped=len(trace) - len(completed),
-            duration=duration,
-            ttft_p50=float(np.percentile(ttfts, 50)),
-            ttft_p99=float(np.percentile(ttfts, 99)),
-            tbt_mean=float(np.mean(tbts)),
-            tbt_p99=float(np.percentile(tbts, 99)),
-            e2e_p50=float(np.percentile(e2es, 50)),
-            e2e_p99=float(np.percentile(e2es, 99)),
-            output_tokens_per_s=out_tokens / duration,
-            prefill_utilization=min(1.0, prefill_util),
-            decode_utilization=min(1.0, decode_util),
-            requeued_on_failure=requeued,
+        engine.run(trace)
+        return _build_report(
+            engine.completed,
+            trace,
+            engine.work_time,
+            [s.busy_time for s in engine.prefill_states],
+            [s.busy_time for s in engine.decode_states],
+            engine.requeued,
+            len(engine.restarts),
+        )
+
+
+class ColocatedSimulator:
+    """Event-driven simulation of a :class:`ColocatedPool` deployment.
+
+    Scripted failures use pool name ``"colocated"``.  The report's
+    ``prefill_utilization`` and ``decode_utilization`` are both the pool's
+    busy fraction (there is only one pool).
+    """
+
+    def __init__(
+        self,
+        pool: ColocatedPool,
+        config: SimConfig | None = None,
+        failures: Sequence[Tuple[float, str, int, float]] = (),
+        *,
+        policies: PolicyBundle | str | None = None,
+        failure_model: Optional[FailureModel] = None,
+        failure_seed: int = 0,
+    ) -> None:
+        self.pool = pool
+        self.config = config or SimConfig()
+        self._policy_spec = policies
+        require_kv_headroom(pool.instance, "colocated")  # fail fast, before run()
+        all_failures = list(failures)
+        if failure_model is not None:
+            all_failures += sample_failure_schedule(
+                failure_model, "colocated", pool.n_instances, self.config.max_sim_time,
+                seed=failure_seed, gpus_per_instance=pool.instance.n_gpus,
+            )
+        self.failures = _validate_failures(all_failures, {"colocated": pool.n_instances})
+        self.provider = ServiceTimeProvider(
+            pool.instance, self.config.context_bucket, self.config.cache_service_times
+        )
+
+    def run(self, trace: Sequence[Request]) -> SimReport:
+        """Simulate the trace to completion (or the time horizon)."""
+        engine = ColocatedEngine(
+            self.pool,
+            self.config,
+            get_policy_bundle(self._policy_spec),
+            self.provider,
+            self.failures,
+        )
+        engine.run(trace)
+        busy = [s.busy_time for s in engine.states]
+        return _build_report(
+            engine.completed, trace, engine.work_time, busy, busy,
+            engine.requeued, len(engine.restarts),
         )

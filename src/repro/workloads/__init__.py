@@ -24,7 +24,7 @@ from .models import (
     PAPER_MODELS,
     get_model,
 )
-from .traces import LengthDistribution, Request, TraceConfig, generate_trace
+from .traces import LengthDistribution, Request, TraceConfig, generate_trace, merge_traces
 from .batching import Batch, BatchPolicy, ContinuousBatcher, StaticBatcher
 
 __all__ = [
@@ -42,6 +42,7 @@ __all__ = [
     "Request",
     "TraceConfig",
     "generate_trace",
+    "merge_traces",
     "Batch",
     "BatchPolicy",
     "ContinuousBatcher",

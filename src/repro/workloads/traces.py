@@ -39,13 +39,20 @@ class Request:
 
     ``arrival`` is in seconds from trace start; ``prompt_tokens`` is the
     prefill length; ``output_tokens`` the number of decode iterations the
-    request will run before completing.
+    request will run before completing (at least 1 — the simulators assume
+    every request decodes at least one token).
     """
 
     request_id: int
     arrival: float
     prompt_tokens: int
     output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise SpecError("arrival must be non-negative")
+        if self.prompt_tokens <= 0 or self.output_tokens <= 0:
+            raise SpecError("prompt_tokens and output_tokens must be positive")
 
     @property
     def total_tokens(self) -> int:
@@ -140,6 +147,38 @@ def generate_trace(config: TraceConfig, seed: int = 0) -> List[Request]:
         Request(request_id=i, arrival=float(arrivals[i]),
                 prompt_tokens=int(prompts[i]), output_tokens=int(outputs[i]))
         for i in range(n)
+    ]
+
+
+def merge_traces(*traces: Sequence[Request]) -> List[Request]:
+    """Merge traces into one arrival-ordered trace with fresh request ids.
+
+    Used to compose multi-tenant workloads (e.g. a chatty short-output
+    tenant plus a long-prompt summarization tenant) for the serving
+    simulators, which require unique ``request_id`` values.  Ordering is
+    deterministic: ties on arrival break by the original id.
+
+    >>> a = generate_trace(TraceConfig(rate=2, duration=5), seed=0)
+    >>> b = generate_trace(TraceConfig(rate=3, duration=5), seed=1)
+    >>> merged = merge_traces(a, b)
+    >>> len(merged) == len(a) + len(b)
+    True
+    >>> all(x.arrival <= y.arrival for x, y in zip(merged, merged[1:]))
+    True
+    >>> sorted({r.request_id for r in merged}) == list(range(len(merged)))
+    True
+    """
+    ordered = sorted(
+        (r for trace in traces for r in trace), key=lambda r: (r.arrival, r.request_id)
+    )
+    return [
+        Request(
+            request_id=i,
+            arrival=r.arrival,
+            prompt_tokens=r.prompt_tokens,
+            output_tokens=r.output_tokens,
+        )
+        for i, r in enumerate(ordered)
     ]
 
 

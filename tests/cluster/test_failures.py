@@ -131,3 +131,46 @@ class TestProperties:
     def test_availability_bounded(self, mtbf_h, mttr_h):
         model = FailureModel(mtbf=mtbf_h * HOUR, mttr=mttr_h * HOUR)
         assert 0.0 < model.gpu_availability < 1.0
+
+
+class TestFailureSchedule:
+    def test_deterministic_and_sorted(self):
+        from repro.cluster.failures import sample_failure_schedule
+
+        model = FailureModel(mtbf=100.0, mttr=20.0)
+        a = sample_failure_schedule(model, "decode", 3, horizon=2000.0, seed=2)
+        b = sample_failure_schedule(model, "decode", 3, horizon=2000.0, seed=2)
+        assert a == b
+        assert a == sorted(a)
+        assert a, "short MTBF over a long horizon must produce failures"
+
+    def test_tuple_shape_and_bounds(self):
+        from repro.cluster.failures import sample_failure_schedule
+
+        model = FailureModel(mtbf=100.0, mttr=20.0)
+        for time, pool, index, duration in sample_failure_schedule(
+            model, "prefill", 2, horizon=1000.0, seed=0
+        ):
+            assert pool == "prefill"
+            assert 0 <= index < 2
+            assert 0 < time < 1000.0
+            assert duration == model.mttr
+
+    def test_bigger_instances_fail_more(self):
+        from repro.cluster.failures import sample_failure_schedule
+
+        model = FailureModel(mtbf=500.0, mttr=10.0)
+        small = sample_failure_schedule(model, "p", 4, horizon=20000.0, seed=1)
+        big = sample_failure_schedule(
+            model, "p", 4, horizon=20000.0, seed=1, gpus_per_instance=8
+        )
+        assert len(big) > len(small)
+
+    def test_validation(self):
+        from repro.cluster.failures import sample_failure_schedule
+
+        model = FailureModel()
+        with pytest.raises(SpecError):
+            sample_failure_schedule(model, "p", 0, horizon=100.0)
+        with pytest.raises(SpecError):
+            sample_failure_schedule(model, "p", 1, horizon=-1.0)

@@ -14,8 +14,9 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("table1", "fig1", "fig2", "fig3a", "fig3b", "report", "search", "tco"):
-            args = parser.parse_args([command] if command not in ("search", "tco") else [command])
+        for command in ("table1", "fig1", "fig2", "fig3a", "fig3b", "report",
+                        "search", "tco", "simulate"):
+            args = parser.parse_args([command])
             assert callable(args.fn)
 
 
@@ -45,3 +46,33 @@ class TestCommands:
         assert main(["tco", "--model", "Llama3-8B"]) == 0
         out = capsys.readouterr().out
         assert "/Mtok" in out and "saving" in out
+
+    def test_simulate_phase_split(self, capsys):
+        assert main([
+            "simulate", "--model", "Llama3-8B", "--prefill-gpu", "H100",
+            "--decode-gpu", "H100", "--gpus-per-instance", "1",
+            "--n-prefill", "1", "--n-decode", "1", "--max-decode-batch", "64",
+            "--rate", "2", "--duration", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "phase-split" in out and "completed" in out and "TTFT" in out
+
+    def test_simulate_colocated_with_failures(self, capsys):
+        assert main([
+            "simulate", "--shape", "colocated", "--model", "Llama3-8B",
+            "--gpu", "H100", "--gpus-per-instance", "1", "--n-instances", "2",
+            "--max-decode-batch", "64", "--rate", "2", "--duration", "5",
+            "--policy", "least-loaded", "--mtbf-hours", "0.01",
+            "--mttr-hours", "0.005", "--max-sim-time", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "colocated" in out and "stochastic failures" in out
+
+    def test_simulate_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "nope"])
+
+    def test_bad_spec_reports_clean_error(self, capsys):
+        assert main(["simulate", "--context-bucket", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "context_bucket" in err

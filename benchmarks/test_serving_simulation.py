@@ -11,11 +11,14 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis.sweeps import sweep_1d
 from repro.analysis.tables import format_table
+from repro.cluster.failures import FailureModel
 from repro.cluster.scheduler import InstanceSpec, PhasePools
 from repro.cluster.simulator import ServingSimulator, SimConfig
+from repro.exec.ensemble import SimulationEnsemble
 from repro.hardware.gpu import H100, LITE_MEMBW, LITE_NETBW_FLOPS
-from repro.workloads.models import LLAMA3_70B
+from repro.workloads.models import LLAMA3_8B, LLAMA3_70B
 from repro.workloads.traces import TraceConfig, generate_trace
 
 from conftest import emit
@@ -132,3 +135,82 @@ def test_refactored_engine_matches_seed_simulator():
         for field, value in golden.items():
             if isinstance(value, float):
                 assert getattr(report, field) == pytest.approx(value, rel=1e-6), (name, field)
+
+
+# --- parallel-executor determinism ------------------------------------------
+#
+# The exec layer must be invisible to the physics: fanning replicas/points
+# across worker processes has to reproduce the in-process run bit-for-bit,
+# and both have to keep reproducing the golden numbers below (captured at
+# the introduction of repro.exec).
+
+_DET_TRACE = generate_trace(
+    TraceConfig(rate=2.0, duration=15.0, output_tokens=80, output_spread=0.5), seed=3
+)
+
+
+def _det_ensemble() -> SimulationEnsemble:
+    pools = PhasePools(
+        prefill=InstanceSpec(LLAMA3_8B, H100, 1),
+        n_prefill=1,
+        decode=InstanceSpec(LLAMA3_8B, H100, 1),
+        n_decode=1,
+        max_prefill_batch=4,
+        max_decode_batch=64,
+    )
+    return SimulationEnsemble(
+        pools,
+        SimConfig(max_sim_time=120.0),
+        policies="fcfs",
+        failure_model=FailureModel(mtbf=60.0, mttr=10.0),
+        base_seed=11,
+        n_replicas=4,
+    )
+
+
+def _det_rate_point(rate: float):
+    """Module-level sweep callable (picklable for pool workers)."""
+    pools = PhasePools(
+        prefill=InstanceSpec(LLAMA3_8B, H100, 1),
+        n_prefill=1,
+        decode=InstanceSpec(LLAMA3_8B, H100, 1),
+        n_decode=1,
+        max_prefill_batch=4,
+        max_decode_batch=64,
+    )
+    trace = generate_trace(
+        TraceConfig(rate=rate, duration=10.0, output_tokens=60, output_spread=0.5), seed=5
+    )
+    return ServingSimulator(pools, SimConfig(max_sim_time=120.0)).run(trace)
+
+
+_ENSEMBLE_GOLDEN = {
+    "mean_completed": 33.0,
+    "mean_ttft_p99": 4.832367404628714,
+    "mean_output_tokens_per_s": 198.0980961242087,
+    "mean_restarted_requests": 0.25,
+    "hi_output_tokens_per_s": 220.21634637244972,
+}
+
+
+def test_parallel_execution_is_bit_identical():
+    """workers=4 replays workers=1 bit-for-bit — ensembles and sweeps."""
+    serial = _det_ensemble().run(_DET_TRACE, workers=1)
+    parallel = _det_ensemble().run(_DET_TRACE, workers=4)
+    assert serial.reports == parallel.reports
+    assert serial.mean == parallel.mean and serial.hi == parallel.hi
+    assert serial.mean.completed == _ENSEMBLE_GOLDEN["mean_completed"]
+    assert serial.mean.ttft_p99 == pytest.approx(_ENSEMBLE_GOLDEN["mean_ttft_p99"], rel=1e-9)
+    assert serial.mean.output_tokens_per_s == pytest.approx(
+        _ENSEMBLE_GOLDEN["mean_output_tokens_per_s"], rel=1e-9
+    )
+    assert serial.mean.restarted_requests == _ENSEMBLE_GOLDEN["mean_restarted_requests"]
+    assert serial.hi.output_tokens_per_s == pytest.approx(
+        _ENSEMBLE_GOLDEN["hi_output_tokens_per_s"], rel=1e-9
+    )
+
+    rates = [1.0, 2.0, 3.0]
+    records_serial = sweep_1d(_det_rate_point, rates, name="rate")
+    records_parallel = sweep_1d(_det_rate_point, rates, name="rate", workers=4)
+    assert records_serial == records_parallel
+    assert all("error" not in r for r in records_serial)

@@ -1,30 +1,107 @@
 """Parameter-sweep helpers for ablation benchmarks.
 
-Thin, dependency-free utilities: evaluate a callable over one- or
-two-dimensional parameter grids and return records suitable for table
-rendering or numpy post-processing.
+Evaluate a callable over one- or two-dimensional parameter grids and return
+records suitable for table rendering or numpy post-processing.  Sweeps
+route through :func:`repro.exec.runner.run_many`, so they gain three
+properties for free:
+
+- **parallelism** — ``workers=N`` fans points across a process pool with
+  bit-identical records to the serial run (the callable must then be a
+  module-level function or a ``functools.partial`` of one, so it pickles);
+- **caching** — pass a :class:`repro.exec.cache.ResultCache` and repeated
+  points are read from disk instead of recomputed;
+- **fault isolation** — an infeasible point no longer aborts the sweep: its
+  record carries an ``"error"`` field (exception type + message) alongside
+  the point's coordinates, and :func:`argbest` skips errored records.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence
+import functools
+import hashlib
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..errors import SpecError
+from ..exec.cache import ResultCache
+from ..exec.runner import Job, run_many
+
+__all__ = ["sweep_1d", "sweep_grid", "argbest"]
+
+
+def _callable_id(fn: Callable) -> str:
+    """Cache identity of the swept callable: name plus behavior fingerprint.
+
+    Module + qualname alone would alias every same-scope lambda (all are
+    ``<lambda>``) and silently hit the wrong cached results, so the key
+    also folds in the bytecode/constants fingerprint, closure cell values,
+    and defaults.  Unstable ``repr`` content (memory addresses) can only
+    make keys miss, never collide — the safe direction for a cache.
+    """
+    if isinstance(fn, functools.partial):
+        return (
+            f"partial({_callable_id(fn.func)}, args={fn.args!r}, "
+            f"kwargs={sorted((fn.keywords or {}).items())!r})"
+        )
+    module = getattr(fn, "__module__", "?")
+    name = getattr(fn, "__qualname__", None) or getattr(fn, "__name__", None) or repr(fn)
+    parts = [f"{module}.{name}"]
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        behavior = code.co_code + repr((code.co_consts, code.co_names, code.co_varnames)).encode()
+        parts.append(hashlib.sha256(behavior).hexdigest()[:16])
+    closure = getattr(fn, "__closure__", None)
+    if closure:
+        parts.append(repr([cell.cell_contents for cell in closure]))
+    defaults = getattr(fn, "__defaults__", None)
+    if defaults:
+        parts.append(repr(defaults))
+    return "|".join(parts)
+
+
+def _run_points(
+    fn: Callable,
+    points: List[Dict],
+    workers: int,
+    cache: Optional[ResultCache],
+) -> List[Dict]:
+    """Evaluate ``fn`` at each point dict; merge outcomes into records."""
+    jobs = []
+    for point in points:
+        key = None
+        if cache is not None:
+            key = cache.key("sweep", _callable_id(fn), sorted(point.items()))
+        jobs.append(Job(fn=fn, args=tuple(point.values()), key=key, label=repr(point)))
+    outcomes = run_many(jobs, workers=workers, cache=cache)
+    records = []
+    for point, outcome in zip(points, outcomes):
+        record = dict(point)
+        if outcome.ok:
+            record["result"] = outcome.value
+        else:
+            record["error"] = outcome.error
+        records.append(record)
+    return records
 
 
 def sweep_1d(
     fn: Callable[[object], object],
     values: Sequence,
     name: str = "x",
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[Dict]:
     """Evaluate ``fn`` at each value; returns [{name: v, "result": fn(v)}].
+
+    A point that raises contributes ``{name: v, "error": "Type: msg"}``
+    instead of aborting the sweep.
 
     >>> sweep_1d(lambda x: x * x, [1, 2, 3])
     [{'x': 1, 'result': 1}, {'x': 2, 'result': 4}, {'x': 3, 'result': 9}]
     """
     if not values:
         raise SpecError("values must be non-empty")
-    return [{name: v, "result": fn(v)} for v in values]
+    return _run_points(fn, [{name: v} for v in values], workers, cache)
 
 
 def sweep_grid(
@@ -33,20 +110,24 @@ def sweep_grid(
     ys: Sequence,
     x_name: str = "x",
     y_name: str = "y",
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[Dict]:
-    """Evaluate ``fn`` over the cross product of ``xs`` and ``ys``."""
+    """Evaluate ``fn`` over the cross product of ``xs`` and ``ys``.
+
+    Row-major point order (``xs`` outer, ``ys`` inner), matching the seed
+    helper; errored points carry an ``"error"`` field like :func:`sweep_1d`.
+    """
     if not xs or not ys:
         raise SpecError("grids must be non-empty")
-    records = []
-    for x in xs:
-        for y in ys:
-            records.append({x_name: x, y_name: y, "result": fn(x, y)})
-    return records
+    points = [{x_name: x, y_name: y} for x in xs for y in ys]
+    return _run_points(fn, points, workers, cache)
 
 
 def argbest(records: Iterable[Dict], key: Callable[[Dict], float], maximize: bool = True) -> Dict:
-    """The record with the best ``key`` value."""
-    records = list(records)
+    """The non-errored record with the best ``key`` value."""
+    records = [r for r in records if "error" not in r]
     if not records:
-        raise SpecError("records must be non-empty")
+        raise SpecError("records must contain at least one successful evaluation")
     return max(records, key=key) if maximize else min(records, key=key)

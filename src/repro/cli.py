@@ -9,8 +9,12 @@ Usage::
     python -m repro tco --model Llama3-70B
     python -m repro simulate --shape phase-split --policy fcfs
     python -m repro simulate --shape colocated --mtbf-hours 0.5
+    python -m repro sweep --rates 2,4,6 --sizes 1,2 --workers 4
 
-All subcommands print plain text; nothing touches the network or disk.
+All subcommands print plain text and touch neither the network nor disk —
+except ``sweep``, which (unless ``--no-cache``) persists finished points
+under ``--cache-dir`` (default ``.repro_cache/``) so repeat invocations
+skip completed work.
 """
 
 from __future__ import annotations
@@ -32,13 +36,24 @@ from .cluster.policies import POLICY_BUNDLES
 from .cluster.scheduler import ColocatedPool, InstanceSpec, PhasePools
 from .cluster.simulator import ColocatedSimulator, ServingSimulator, SimConfig
 from .cluster.spec import ClusterSpec
+from .analysis.sweeps import argbest
 from .core.search import search_best_config
-from .errors import LiteGPUError
+from .errors import LiteGPUError, SimulationError
+from .exec.cache import ResultCache
+from .exec.runner import Job, run_many
 from .hardware.gpu import H100, get_gpu
 from .hardware.tco import cluster_tco, tokens_per_dollar_comparison
 from .units import HOUR
 from .workloads.models import get_model
-from .workloads.traces import TraceConfig, generate_trace
+from .workloads.traces import TraceConfig, generate_trace, trace_fingerprint
+
+
+def _csv_floats(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def _csv_ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
 
 
 def _cmd_table1(_: argparse.Namespace) -> None:
@@ -162,6 +177,126 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
     print(report.describe())
 
 
+def _sweep_point(
+    shape: str,
+    model_name: str,
+    prefill_gpu: str,
+    decode_gpu: str,
+    gpu: str,
+    gpus_per_instance: int,
+    n_prefill: int,
+    size: int,
+    max_prefill_batch: int,
+    max_decode_batch: int,
+    chunk_tokens: int,
+    policy: str,
+    max_sim_time: float,
+    context_bucket: int,
+    trace_config: TraceConfig,
+    trace_seed: int,
+):
+    """Run one sweep point (module-level so worker processes can pickle it).
+
+    The trace regenerates from its config inside the worker — deterministic,
+    and far cheaper to ship than thousands of pickled Request objects.
+    """
+    trace = generate_trace(trace_config, seed=trace_seed)
+    model = get_model(model_name)
+    config = SimConfig(max_sim_time=max_sim_time, context_bucket=context_bucket)
+    if shape == "phase-split":
+        pools = PhasePools(
+            prefill=InstanceSpec(model, get_gpu(prefill_gpu), gpus_per_instance),
+            n_prefill=n_prefill,
+            decode=InstanceSpec(model, get_gpu(decode_gpu), gpus_per_instance),
+            n_decode=size,
+            max_prefill_batch=max_prefill_batch,
+            max_decode_batch=max_decode_batch,
+        )
+        simulator = ServingSimulator(pools, config, policies=policy)
+    else:
+        pool = ColocatedPool(
+            instance=InstanceSpec(model, get_gpu(gpu), gpus_per_instance),
+            n_instances=size,
+            max_decode_batch=max_decode_batch,
+            chunk_tokens=chunk_tokens,
+        )
+        simulator = ColocatedSimulator(pool, config, policies=policy)
+    return simulator.run(trace)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    trace_configs = {
+        rate: TraceConfig(
+            rate=rate,
+            duration=args.duration,
+            output_tokens=args.output_tokens,
+            output_spread=args.output_spread,
+        )
+        for rate in args.rates
+    }
+    # Fingerprint the actual requests (not just the config) so a change to
+    # trace *generation* invalidates cached points even within one version.
+    fingerprints = {
+        rate: trace_fingerprint(generate_trace(config, seed=args.seed))
+        for rate, config in trace_configs.items()
+    } if cache is not None else {}
+    jobs = []
+    for rate in args.rates:
+        for size in args.sizes:
+            point = (
+                args.shape, args.model, args.prefill_gpu, args.decode_gpu, args.gpu,
+                args.gpus_per_instance, args.n_prefill, size,
+                args.max_prefill_batch, args.max_decode_batch, args.chunk_tokens,
+                args.policy, args.max_sim_time, args.context_bucket,
+            )
+            key = None
+            if cache is not None:
+                key = cache.key("cli-sweep", point, fingerprints[rate])
+            jobs.append(
+                Job(
+                    fn=_sweep_point,
+                    args=point + (trace_configs[rate], args.seed),
+                    key=key,
+                    label=f"rate={rate:g} size={size}",
+                )
+            )
+    outcomes = run_many(jobs, workers=args.workers, cache=cache)
+    print(
+        f"sweep: {args.shape} {args.model}, {len(jobs)} points "
+        f"({len(args.rates)} rates x {len(args.sizes)} sizes), "
+        f"{args.workers} worker(s), policy '{args.policy}'"
+    )
+    records = []
+    reports = {}
+    for outcome in outcomes:
+        if outcome.ok:
+            reports[outcome.label + (" [cached]" if outcome.cached else "")] = outcome.value
+            records.append({"point": outcome.label, "result": outcome.value})
+        else:
+            records.append({"point": outcome.label, "error": outcome.error})
+    if reports:
+        print(simulation_table(reports, title="Sweep grid"))
+    for record in records:
+        if "error" in record:
+            print(f"  {record['point']}: ERROR {record['error']}")
+    if not reports:
+        raise SimulationError("no sweep point completed successfully")
+    best = argbest(records, key=lambda r: r["result"].output_tokens_per_s)
+    print(
+        f"best throughput: {best['point']} "
+        f"({best['result'].output_tokens_per_s:.0f} out tok/s)"
+    )
+    if cache is not None:
+        info = cache.cache_info()
+        print(
+            f"cache: {info['hits']} hits, {info['misses']} misses, "
+            f"{info['stores']} stored, {info['entries']} on disk ({cache.root})"
+        )
+    else:
+        print("cache: disabled")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -219,6 +354,41 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--mttr-hours", type=float, default=0.25)
     simulate.add_argument("--failure-seed", type=int, default=0)
     simulate.set_defaults(fn=_cmd_simulate)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="sweep a simulation grid in parallel with on-disk result caching",
+    )
+    sweep.add_argument("--shape", choices=("phase-split", "colocated"), default="colocated")
+    sweep.add_argument("--model", default="Llama3-8B")
+    sweep.add_argument("--prefill-gpu", default="Lite+NetBW+FLOPS")
+    sweep.add_argument("--decode-gpu", default="Lite+MemBW")
+    sweep.add_argument("--gpu", default="H100", help="pool GPU (colocated)")
+    sweep.add_argument("--gpus-per-instance", type=int, default=1)
+    sweep.add_argument("--n-prefill", type=int, default=2,
+                       help="prefill pool size (phase-split; fixed across the grid)")
+    sweep.add_argument("--rates", type=_csv_floats, default=[2.0, 4.0],
+                       help="comma-separated arrival rates (req/s), one grid axis")
+    sweep.add_argument("--sizes", type=_csv_ints, default=[1, 2],
+                       help="comma-separated pool sizes (decode/colocated instances), "
+                            "the other grid axis")
+    sweep.add_argument("--max-prefill-batch", type=int, default=4)
+    sweep.add_argument("--max-decode-batch", type=int, default=64)
+    sweep.add_argument("--chunk-tokens", type=int, default=512)
+    sweep.add_argument("--policy", default="fcfs", choices=POLICY_BUNDLES.names())
+    sweep.add_argument("--duration", type=float, default=20.0, help="trace length (s)")
+    sweep.add_argument("--output-tokens", type=int, default=100)
+    sweep.add_argument("--output-spread", type=float, default=0.5)
+    sweep.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+    sweep.add_argument("--max-sim-time", type=float, default=600.0)
+    sweep.add_argument("--context-bucket", type=int, default=1)
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = in-process)")
+    sweep.add_argument("--cache-dir", default=".repro_cache",
+                       help="result-cache directory")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache")
+    sweep.set_defaults(fn=_cmd_sweep)
     return parser
 
 

@@ -211,15 +211,27 @@ class PrefillState:
 
 @dataclass
 class DecodeState:
-    """One decode instance running continuous batching."""
+    """One decode instance running continuous batching.
+
+    ``occupied`` (final KV footprints of resident sequences) and
+    ``context_sum`` (sum of their current context lengths) are maintained
+    incrementally by the engine — integer arithmetic, so they are exactly
+    the sums the seed recomputed by scanning ``active`` on every event.
+    """
 
     active: List[ActiveSequence] = field(default_factory=list)
     busy_until: float = 0.0
     running: bool = False
     down_until: float = 0.0
     busy_time: float = 0.0
+    occupied: int = 0
+    context_sum: int = 0
 
     def occupied_tokens(self) -> int:
+        return self.occupied
+
+    def scan_occupied_tokens(self) -> int:
+        """Recount by scanning (the seed's per-event path; benchmark baseline)."""
         return sum(s.request.total_tokens for s in self.active)
 
 
@@ -233,7 +245,13 @@ class PartialPrefill:
 
 @dataclass
 class ColocatedState:
-    """One colocated instance: decode batch + in-progress chunked prefill."""
+    """One colocated instance: decode batch + in-progress chunked prefill.
+
+    ``occupied`` covers every committed sequence (decoding, chunking, or
+    waiting to chunk); ``context_sum`` covers only the decoding batch.
+    Both are engine-maintained integer counters equal to the scans the
+    seed ran per event.
+    """
 
     active: List[ActiveSequence] = field(default_factory=list)
     backlog: Deque[PartialPrefill] = field(default_factory=deque)
@@ -242,12 +260,18 @@ class ColocatedState:
     running: bool = False
     down_until: float = 0.0
     busy_time: float = 0.0
+    occupied: int = 0
+    context_sum: int = 0
 
     def committed(self) -> int:
         """Sequences holding a slot (decoding, chunking, or waiting to chunk)."""
         return len(self.active) + len(self.backlog) + (1 if self.current else 0)
 
     def occupied_tokens(self) -> int:
+        return self.occupied
+
+    def scan_occupied_tokens(self) -> int:
+        """Recount by scanning (the seed's per-event path; benchmark baseline)."""
         tokens = sum(s.request.total_tokens for s in self.active)
         tokens += sum(p.request.total_tokens for p in self.backlog)
         if self.current is not None:
@@ -277,6 +301,12 @@ class _EngineBase:
 
     def __init__(self, config) -> None:
         self.config = config
+        # fast_engine=True (the default) reads the incrementally maintained
+        # occupancy/context counters; False re-derives both by scanning
+        # instance state per event, exactly as the seed did — kept as the
+        # measured baseline for benchmarks/test_perf_sweep.py.  Both modes
+        # are bit-identical: the counters are integer sums of the same terms.
+        self.fast = getattr(config, "fast_engine", True)
         self.events = EventQueue()
         self.now = 0.0
         # Clock of the last *request-affecting* event.  Failure/recovery
@@ -405,8 +435,11 @@ class PhaseSplitEngine(_EngineBase):
             return
         # Loads double as each instance's KV budget: admissions to one
         # instance never change another's occupancy, so a single per-round
-        # scan feeds both the routing order and the budgets.
-        loads = [s.occupied_tokens() for s in self.decode_states]
+        # read feeds both the routing order and the budgets.
+        if self.fast:
+            loads = [s.occupied_tokens() for s in self.decode_states]
+        else:
+            loads = [s.scan_occupied_tokens() for s in self.decode_states]
         order = self.decode_routing.order(loads)
         for idx in order:
             inst = self.decode_states[idx]
@@ -416,6 +449,8 @@ class PhaseSplitEngine(_EngineBase):
             budget = self.kv_capacity - loads[idx]
             for request in self.policies.admission.select(self.decode_queue, slots, budget):
                 inst.active.append(ActiveSequence(request=request, ttft_done=time))
+                inst.occupied += request.total_tokens
+                inst.context_sum += request.prompt_tokens
             if inst.active and not inst.running:
                 inst.running = True
                 self.events.push(max(time, inst.busy_until), "decode_iter", (idx,))
@@ -443,7 +478,14 @@ class PhaseSplitEngine(_EngineBase):
             inst.running = False
             return
         batch = len(inst.active)
-        context = int(np.mean([s.context_len for s in inst.active]))
+        if self.fast:
+            # Exact replacement for int(np.mean([s.context_len ...])): the
+            # counter is the same integer sum, and float64 division of
+            # exact integers is identical either way — minus the per-event
+            # list build and numpy round-trip.
+            context = int(inst.context_sum / batch)
+        else:
+            context = int(np.mean([s.context_len for s in inst.active]))
         latency = max(
             self.decode_provider.decode_time(batch, max(1, context)),
             self.config.min_decode_interval,
@@ -454,10 +496,13 @@ class PhaseSplitEngine(_EngineBase):
         for seq in inst.active:
             seq.generated += 1
             seq.iteration_times.append(latency)
+        inst.context_sum += batch  # every resident context grew by one token
         still_active: List[ActiveSequence] = []
         for seq in inst.active:
             if seq.done:
                 self._complete(seq, finish)
+                inst.occupied -= seq.request.total_tokens
+                inst.context_sum -= seq.context_len
             else:
                 still_active.append(seq)
         inst.active = still_active
@@ -490,6 +535,8 @@ class PhaseSplitEngine(_EngineBase):
             for request in victims:
                 self._record_restart(request)
             inst.active.clear()
+            inst.occupied = 0
+            inst.context_sum = 0
             # Victims must not strand: once the arrival stream has ended
             # nothing else would wake an idle prefill pool to re-serve them.
             self._dispatch_prefill(now)
@@ -546,7 +593,10 @@ class ColocatedEngine(_EngineBase):
     def _dispatch(self, time: float) -> None:
         if not self.pending:
             return
-        loads = [s.occupied_tokens() for s in self.states]
+        if self.fast:
+            loads = [s.occupied_tokens() for s in self.states]
+        else:
+            loads = [s.scan_occupied_tokens() for s in self.states]
         order = self.routing.order(loads)
         for idx in order:
             inst = self.states[idx]
@@ -556,6 +606,7 @@ class ColocatedEngine(_EngineBase):
             budget = self.kv_capacity - loads[idx]
             for request in self.policies.admission.select(self.pending, slots, budget):
                 inst.backlog.append(PartialPrefill(request, request.prompt_tokens))
+                inst.occupied += request.total_tokens
             if inst.has_work() and not inst.running:
                 inst.running = True
                 self.events.push(max(time, inst.busy_until), "iter", (idx,))
@@ -578,7 +629,10 @@ class ColocatedEngine(_EngineBase):
         if batch == 0 and chunk == 0:
             inst.running = False
             return
-        context = int(np.mean([s.context_len for s in inst.active])) if inst.active else 1
+        if self.fast:
+            context = int(inst.context_sum / batch) if batch else 1
+        else:
+            context = int(np.mean([s.context_len for s in inst.active])) if inst.active else 1
         prompt_len = inst.current.request.prompt_tokens if inst.current else 1
         latency = max(
             self.provider.mixed_time(batch, max(1, context), chunk, prompt_len),
@@ -590,17 +644,21 @@ class ColocatedEngine(_EngineBase):
         for seq in inst.active:
             seq.generated += 1
             seq.iteration_times.append(latency)
+        inst.context_sum += batch  # every decoding context grew by one token
         if inst.current is not None:
             inst.current.remaining -= chunk
             if inst.current.remaining <= 0:
                 request = inst.current.request
                 self._record_ttft(request, finish)
                 inst.active.append(ActiveSequence(request=request, ttft_done=finish))
+                inst.context_sum += request.prompt_tokens
                 inst.current = None
         still_active: List[ActiveSequence] = []
         for seq in inst.active:
             if seq.done:
                 self._complete(seq, finish)
+                inst.occupied -= seq.request.total_tokens
+                inst.context_sum -= seq.context_len
             else:
                 still_active.append(seq)
         inst.active = still_active
@@ -633,6 +691,8 @@ class ColocatedEngine(_EngineBase):
         inst.active.clear()
         inst.backlog.clear()
         inst.current = None
+        inst.occupied = 0
+        inst.context_sum = 0
         # Healthy idle instances pick the victims up now, not at repair time.
         self._dispatch(now)
         self.events.push(now + duration, "recovered", (index,))

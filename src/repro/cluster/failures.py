@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Tuple
 
 import numpy as np
@@ -187,7 +188,22 @@ def sample_failure_schedule(
     if horizon <= 0:
         raise SpecError("horizon must be positive")
     if rng is None:
-        rng = np.random.default_rng(seed)
+        # Seeded sampling is pure, so identical parameters always yield the
+        # identical schedule — memoize it.  Ensemble replicas and repeated
+        # sweep points with the same (model, horizon, seed) then share one
+        # draw instead of re-running the Weibull loop each time.
+        return list(_cached_schedule(model, pool, n_instances, horizon, seed, gpus_per_instance))
+    return _sample_schedule(model, pool, n_instances, horizon, gpus_per_instance, rng)
+
+
+def _sample_schedule(
+    model: FailureModel,
+    pool: str,
+    n_instances: int,
+    horizon: float,
+    gpus_per_instance: int,
+    rng: np.random.Generator,
+) -> List[Tuple[float, str, int, float]]:
     schedule: List[Tuple[float, str, int, float]] = []
     for index in range(n_instances):
         t = 0.0
@@ -199,6 +215,24 @@ def sample_failure_schedule(
             schedule.append((t, pool, index, model.mttr))
             t += model.mttr
     return sorted(schedule)
+
+
+@lru_cache(maxsize=256)
+def _cached_schedule(
+    model: FailureModel,
+    pool: str,
+    n_instances: int,
+    horizon: float,
+    seed: int,
+    gpus_per_instance: int,
+) -> Tuple[Tuple[float, str, int, float], ...]:
+    rng = np.random.default_rng(seed)
+    return tuple(_sample_schedule(model, pool, n_instances, horizon, gpus_per_instance, rng))
+
+
+def schedule_cache_info():
+    """Hit/miss statistics of the seeded-schedule memo (for tests/benchmarks)."""
+    return _cached_schedule.cache_info()
 
 
 def scaled_lite_failure_model(parent: FailureModel, split: int, area_scaling: bool = True) -> FailureModel:

@@ -19,7 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
-from ..errors import InfeasibleError, SpecError
+from ..errors import InfeasibleError, SimulationError, SpecError
+from ..exec.runner import Job, run_many
 from ..hardware.gpu import GPUSpec
 from ..workloads.transformer import ModelSpec
 from .inference import (
@@ -220,15 +221,31 @@ def search_many(
     phase: Phase | str,
     constraints: SearchConstraints | None = None,
     policy: RooflinePolicy | None = None,
+    *,
+    workers: int = 1,
 ) -> dict:
     """Search every (model, gpu) pair; returns {(model, gpu): SearchResult}.
 
-    This is the engine behind both Figure 3 panels.
+    This is the engine behind both Figure 3 panels.  Each (model, gpu)
+    search is an independent pure evaluation, so ``workers=N`` fans the
+    pairs across a process pool via :func:`repro.exec.runner.run_many`
+    with results identical to the serial sweep.
     """
+    pairs = [(model, gpu) for model in models for gpu in gpus]
+    jobs = [
+        Job(
+            fn=search_best_config,
+            args=(model, gpu, phase, constraints, policy),
+            label=f"{model.name}/{gpu.name}",
+        )
+        for model, gpu in pairs
+    ]
+    outcomes = run_many(jobs, workers=workers)
     results = {}
-    for model in models:
-        for gpu in gpus:
-            results[(model.name, gpu.name)] = search_best_config(
-                model, gpu, phase, constraints, policy
-            )
+    for (model, gpu), outcome in zip(pairs, outcomes):
+        if not outcome.ok:
+            # Searches handle infeasibility internally; anything escaping
+            # a worker is a genuine bug and must not be silently skipped.
+            raise SimulationError(f"search failed for {outcome.label}: {outcome.error}")
+        results[(model.name, gpu.name)] = outcome.value
     return results

@@ -1,0 +1,49 @@
+"""Experiment execution: parallel running, result caching, seed derivation.
+
+The Lite-GPU thesis applied to the harness itself: instead of one big
+serial process, fan many small independent jobs — sweep points, search
+candidates, failure-seeded simulation replicas — across workers, and never
+recompute a point whose inputs haven't changed.
+
+- :mod:`repro.exec.runner` — :class:`Job` / :func:`run_many`, the
+  order-preserving multiprocessing executor;
+- :mod:`repro.exec.cache` — :class:`ResultCache`, content-hashed JSON
+  records under ``.repro_cache/`` with a code-version salt;
+- :mod:`repro.exec.seeding` — :func:`derive_seed` / :func:`stable_digest`,
+  deterministic per-job seed and key derivation;
+- :mod:`repro.exec.ensemble` — :class:`SimulationEnsemble`, replicated
+  failure-seeded simulations aggregated with confidence intervals
+  (imported lazily to keep the light modules import-cycle-free).
+"""
+
+from __future__ import annotations
+
+from .cache import MISS, ResultCache
+from .runner import Job, JobOutcome, run_many
+from .seeding import derive_seed, stable_digest
+
+__all__ = [
+    "MISS",
+    "ResultCache",
+    "Job",
+    "JobOutcome",
+    "run_many",
+    "derive_seed",
+    "stable_digest",
+    "EnsembleReport",
+    "SimulationEnsemble",
+    "run_replica",
+    "aggregate_reports",
+]
+
+_ENSEMBLE_EXPORTS = ("EnsembleReport", "SimulationEnsemble", "run_replica", "aggregate_reports")
+
+
+def __getattr__(name: str):
+    # Lazy: repro.exec.ensemble pulls in the whole cluster/simulator stack,
+    # which must not load just because core.search imported the runner.
+    if name in _ENSEMBLE_EXPORTS:
+        from . import ensemble
+
+        return getattr(ensemble, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

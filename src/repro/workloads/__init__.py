@@ -24,7 +24,14 @@ from .models import (
     PAPER_MODELS,
     get_model,
 )
-from .traces import LengthDistribution, Request, TraceConfig, generate_trace, merge_traces
+from .traces import (
+    LengthDistribution,
+    Request,
+    TraceConfig,
+    generate_trace,
+    merge_traces,
+    trace_fingerprint,
+)
 from .batching import Batch, BatchPolicy, ContinuousBatcher, StaticBatcher
 
 __all__ = [
@@ -43,6 +50,7 @@ __all__ = [
     "TraceConfig",
     "generate_trace",
     "merge_traces",
+    "trace_fingerprint",
     "Batch",
     "BatchPolicy",
     "ContinuousBatcher",

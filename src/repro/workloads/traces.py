@@ -16,6 +16,7 @@ are exactly reproducible.
 from __future__ import annotations
 
 import enum
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import List, Sequence
@@ -180,6 +181,27 @@ def merge_traces(*traces: Sequence[Request]) -> List[Request]:
         )
         for i, r in enumerate(ordered)
     ]
+
+
+def trace_fingerprint(trace: Sequence[Request]) -> str:
+    """Content hash of a trace, for experiment cache keys.
+
+    Covers every field of every request; arrivals hash via ``float.hex`` so
+    the fingerprint is exact (two traces collide only if identical).
+
+    >>> a = generate_trace(TraceConfig(rate=5, duration=10), seed=1)
+    >>> trace_fingerprint(a) == trace_fingerprint(list(a))
+    True
+    >>> b = generate_trace(TraceConfig(rate=5, duration=10), seed=2)
+    >>> trace_fingerprint(a) != trace_fingerprint(b)
+    True
+    """
+    digest = hashlib.sha256()
+    for r in trace:
+        digest.update(
+            f"{r.request_id},{r.arrival.hex()},{r.prompt_tokens},{r.output_tokens};".encode()
+        )
+    return digest.hexdigest()
 
 
 def trace_stats(trace: Sequence[Request]) -> dict:

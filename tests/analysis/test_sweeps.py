@@ -42,3 +42,101 @@ class TestArgbest:
     def test_empty(self):
         with pytest.raises(SpecError):
             argbest([], key=lambda r: 0)
+
+
+def _cube(x):
+    return x ** 3
+
+
+def _fragile(x):
+    if x == 0:
+        raise ZeroDivisionError("x must be nonzero")
+    return 1.0 / x
+
+
+class TestErrorRecords:
+    def test_failed_point_carries_error_not_abort(self):
+        records = sweep_1d(_fragile, [2, 0, 4], name="x")
+        assert records[0] == {"x": 2, "result": 0.5}
+        assert records[1]["x"] == 0 and "result" not in records[1]
+        assert records[1]["error"] == "ZeroDivisionError: x must be nonzero"
+        assert records[2] == {"x": 4, "result": 0.25}
+
+    def test_grid_errors_isolated(self):
+        records = sweep_grid(lambda x, y: x / y, [1, 2], [0, 2])
+        errored = [r for r in records if "error" in r]
+        assert len(errored) == 2 and all(r["y"] == 0 for r in errored)
+
+    def test_argbest_skips_errored_records(self):
+        records = sweep_1d(_fragile, [4, 0, 2], name="x")
+        best = argbest(records, key=lambda r: r["result"])
+        assert best["x"] == 2
+
+    def test_argbest_all_errored_raises(self):
+        records = sweep_1d(_fragile, [0], name="x")
+        with pytest.raises(SpecError):
+            argbest(records, key=lambda r: r["result"])
+
+
+class TestParallelSweeps:
+    def test_workers_bit_identical(self):
+        serial = sweep_grid(_mul, [1, 2, 3], [10, 20], x_name="a", y_name="b")
+        parallel = sweep_grid(_mul, [1, 2, 3], [10, 20], x_name="a", y_name="b", workers=3)
+        assert serial == parallel
+
+    def test_workers_1d(self):
+        assert sweep_1d(_cube, [1, 2, 3]) == sweep_1d(_cube, [1, 2, 3], workers=2)
+
+
+def _mul(x, y):
+    return x * y
+
+
+class TestCachedSweeps:
+    def test_cold_equals_warm_and_hits_advance(self, tmp_path):
+        from repro.exec.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cold = sweep_1d(_cube, [1, 2, 3], cache=cache)
+        assert cache.cache_info()["stores"] == 3
+        warm = sweep_1d(_cube, [1, 2, 3], cache=cache)
+        assert cold == warm
+        assert cache.cache_info()["hits"] == 3
+
+    def test_distinct_callables_do_not_collide(self, tmp_path):
+        from repro.exec.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        sweep_1d(_cube, [2], cache=cache)
+        records = sweep_1d(_fragile, [2], cache=cache)
+        assert records[0]["result"] == 0.5
+
+    def test_same_scope_lambdas_do_not_collide(self, tmp_path):
+        from repro.exec.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        squared = sweep_1d(lambda x: x * x, [2], cache=cache)
+        bumped = sweep_1d(lambda x: x + 1, [2], cache=cache)
+        assert squared[0]["result"] == 4
+        assert bumped[0]["result"] == 3  # must not hit the first lambda's record
+
+    def test_closures_with_distinct_cells_do_not_collide(self, tmp_path):
+        from repro.exec.cache import ResultCache
+
+        def scaler(k):
+            return lambda x: x * k
+
+        cache = ResultCache(tmp_path)
+        assert sweep_1d(scaler(2), [3], cache=cache)[0]["result"] == 6
+        assert sweep_1d(scaler(5), [3], cache=cache)[0]["result"] == 15
+
+    def test_partials_are_cacheable_with_stable_keys(self, tmp_path):
+        import functools
+        from repro.exec.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        fn = functools.partial(pow, 2)
+        cold = sweep_1d(fn, [3, 4], cache=cache)
+        warm = sweep_1d(functools.partial(pow, 2), [3, 4], cache=cache)
+        assert cold == warm == [{"x": 3, "result": 8}, {"x": 4, "result": 16}]
+        assert cache.cache_info()["hits"] == 2

@@ -174,3 +174,43 @@ class TestFailureSchedule:
             sample_failure_schedule(model, "p", 0, horizon=100.0)
         with pytest.raises(SpecError):
             sample_failure_schedule(model, "p", 1, horizon=-1.0)
+
+
+class TestScheduleMemo:
+    def test_seeded_sampling_is_memoized(self):
+        from repro.cluster.failures import sample_failure_schedule, schedule_cache_info
+
+        model = FailureModel(mtbf=321.0, mttr=12.0)
+        before = schedule_cache_info()
+        first = sample_failure_schedule(model, "memo", 3, horizon=5000.0, seed=42)
+        second = sample_failure_schedule(model, "memo", 3, horizon=5000.0, seed=42)
+        after = schedule_cache_info()
+        assert first == second
+        assert after.hits >= before.hits + 1
+
+    def test_memoized_result_is_mutation_safe(self):
+        from repro.cluster.failures import sample_failure_schedule
+
+        model = FailureModel(mtbf=222.0, mttr=11.0)
+        first = sample_failure_schedule(model, "memo2", 2, horizon=5000.0, seed=7)
+        first.append(("garbage",))
+        second = sample_failure_schedule(model, "memo2", 2, horizon=5000.0, seed=7)
+        assert ("garbage",) not in second
+
+    def test_explicit_rng_bypasses_memo(self):
+        from repro.cluster.failures import sample_failure_schedule
+
+        model = FailureModel(mtbf=50.0, mttr=5.0)
+        rng = np.random.default_rng(0)
+        first = sample_failure_schedule(model, "rngpath", 2, horizon=2000.0, rng=rng)
+        # The same generator has advanced: a second draw must differ.
+        second = sample_failure_schedule(model, "rngpath", 2, horizon=2000.0, rng=rng)
+        assert first != second
+
+    def test_distinct_parameters_distinct_entries(self):
+        from repro.cluster.failures import sample_failure_schedule
+
+        model = FailureModel(mtbf=80.0, mttr=8.0)
+        a = sample_failure_schedule(model, "distinct", 2, horizon=3000.0, seed=1)
+        b = sample_failure_schedule(model, "distinct", 2, horizon=3000.0, seed=2)
+        assert a != b

@@ -440,3 +440,60 @@ class TestColocated:
             self.pool(chunk_tokens=4096), SimConfig(max_sim_time=600.0)
         ).run(t)
         assert small.tbt_mean <= big.tbt_mean
+
+
+class TestFastEngine:
+    """fast_engine=True (incremental counters) vs the seed's scan paths."""
+
+    def test_phase_split_bit_identical(self):
+        t = trace(rate=4.0, duration=20.0)
+        kw = dict(failures=[(10.0, "decode", 0, 30.0)])
+        fast = ServingSimulator(pools(n_decode=2), SimConfig(max_sim_time=600.0), **kw).run(t)
+        legacy = ServingSimulator(
+            pools(n_decode=2), SimConfig(max_sim_time=600.0, fast_engine=False), **kw
+        ).run(t)
+        assert fast == legacy
+        assert fast.restarted_requests > 0  # the failure path was exercised
+
+    def test_colocated_bit_identical(self):
+        from repro.cluster.scheduler import ColocatedPool
+        from repro.cluster.simulator import ColocatedSimulator
+
+        pool = ColocatedPool(
+            instance=InstanceSpec(LLAMA3_8B, H100, 1), n_instances=2, max_decode_batch=64
+        )
+        t = trace(rate=4.0, duration=20.0)
+        kw = dict(failures=[(2.0, "colocated", 0, 15.0)])
+        fast = ColocatedSimulator(pool, SimConfig(max_sim_time=600.0), **kw).run(t)
+        legacy = ColocatedSimulator(
+            pool, SimConfig(max_sim_time=600.0, fast_engine=False), **kw
+        ).run(t)
+        assert fast == legacy
+
+    def test_counters_match_scans_through_a_run(self):
+        """The incremental counters equal a full recount at every event."""
+        from repro.cluster.engine import PhaseSplitEngine, ServiceTimeProvider
+        from repro.cluster.policies import get_policy_bundle
+
+        p = pools(n_decode=2)
+        config = SimConfig(max_sim_time=600.0)
+        engine = PhaseSplitEngine(
+            p, config, get_policy_bundle("fcfs"),
+            ServiceTimeProvider(p.prefill), ServiceTimeProvider(p.decode),
+            failures=[(2.0, "decode", 0, 10.0)],
+        )
+        checked = 0
+        original = engine._on_decode_admit
+
+        def checking(now, payload):
+            nonlocal checked
+            original(now, payload)
+            for state in engine.decode_states:
+                assert state.occupied == state.scan_occupied_tokens()
+                assert state.context_sum == sum(s.context_len for s in state.active)
+            checked += 1
+
+        engine._on_decode_admit = checking
+        engine.handlers = lambda: {**PhaseSplitEngine.handlers(engine), "decode_admit": checking}
+        engine.run(trace(rate=4.0, duration=10.0))
+        assert checked > 0

@@ -131,3 +131,14 @@ class TestSearchPhysics:
         at8 = search_best_config(GPT3_175B, H100, "decode")
         at4 = search_best_config(GPT3_175B, H100, "decode", max_gpus=4)
         assert at8.best.batch > 2 * at4.best.batch
+
+
+class TestParallelSearchMany:
+    def test_workers_match_serial(self):
+        serial = search_many([LLAMA3_8B], [H100, LITE], "decode")
+        parallel = search_many([LLAMA3_8B], [H100, LITE], "decode", workers=2)
+        assert set(serial) == set(parallel)
+        for pair, result in serial.items():
+            other = parallel[pair]
+            assert result.best_tokens_per_s_per_sm == other.best_tokens_per_s_per_sm
+            assert result.frontier == other.frontier

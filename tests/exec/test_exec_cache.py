@@ -1,0 +1,80 @@
+"""On-disk result-cache tests: round-trips, salting, corruption, stats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.scheduler import InstanceSpec, PhasePools
+from repro.cluster.simulator import ServingSimulator, SimConfig
+from repro.errors import SpecError
+from repro.exec.cache import MISS, ResultCache
+from repro.hardware.gpu import H100
+from repro.workloads.models import LLAMA3_8B
+from repro.workloads.traces import TraceConfig, generate_trace
+
+
+def small_report():
+    pools = PhasePools(
+        prefill=InstanceSpec(LLAMA3_8B, H100, 1), n_prefill=1,
+        decode=InstanceSpec(LLAMA3_8B, H100, 1), n_decode=1,
+        max_prefill_batch=4, max_decode_batch=32,
+    )
+    trace = generate_trace(TraceConfig(rate=2.0, duration=5.0, output_tokens=40), seed=1)
+    return ServingSimulator(pools, SimConfig(max_sim_time=60.0)).run(trace)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("point", 1)
+        assert cache.get(key) is MISS
+        assert cache.put(key, {"v": 1.5})
+        assert cache.get(key) == {"v": 1.5}
+        assert cache.cache_info() == {"hits": 1, "misses": 1, "stores": 1, "entries": 1}
+
+    def test_simreport_roundtrip_is_bit_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        report = small_report()
+        key = cache.key("report")
+        assert cache.put(key, report)
+        assert cache.get(key) == report  # exact float round-trip through JSON
+
+    def test_salt_mismatch_is_a_miss(self, tmp_path):
+        old = ResultCache(tmp_path, salt="v1")
+        key = old.key("x")
+        old.put(key, 42)
+        renewed = ResultCache(tmp_path, salt="v2")
+        assert renewed.get(key) is MISS  # code-version bump invalidates
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("x")
+        cache.put(key, 1)
+        path = next(tmp_path.glob("*/*.json"))
+        path.write_text("{not json")
+        assert cache.get(key) is MISS
+
+    def test_unencodable_value_declines(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert not cache.put(cache.key("x"), object())
+        assert cache.entries() == 0
+
+    def test_rejects_non_digest_keys(self, tmp_path):
+        with pytest.raises(SpecError):
+            ResultCache(tmp_path).get("../../etc/passwd")
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(cache.key(i), i)
+        assert cache.clear() == 3
+        assert cache.entries() == 0
+
+    def test_record_is_valid_json_with_salt(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s")
+        cache.put(cache.key("x"), [1, 2])
+        record = json.loads(next(tmp_path.glob("*/*.json")).read_text())
+        assert record["salt"] == "s"
+        assert record["payload"] == {"type": "json", "data": [1, 2]}

@@ -1,0 +1,134 @@
+"""SimulationEnsemble tests: seed derivation, aggregation, parallel/caching."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster.failures import FailureModel
+from repro.cluster.scheduler import ColocatedPool, InstanceSpec, PhasePools
+from repro.cluster.simulator import SimConfig, SimReport
+from repro.errors import SpecError
+from repro.exec.cache import ResultCache
+from repro.exec.ensemble import EnsembleReport, SimulationEnsemble, aggregate_reports
+from repro.hardware.gpu import H100
+from repro.workloads.models import LLAMA3_8B
+from repro.workloads.traces import TraceConfig, generate_trace
+
+
+def trace(rate: float = 2.0, duration: float = 10.0):
+    return generate_trace(
+        TraceConfig(rate=rate, duration=duration, output_tokens=60, output_spread=0.5), seed=4
+    )
+
+
+def colocated_pool() -> ColocatedPool:
+    return ColocatedPool(
+        instance=InstanceSpec(LLAMA3_8B, H100, 1), n_instances=2, max_decode_batch=64
+    )
+
+
+def phase_pools() -> PhasePools:
+    return PhasePools(
+        prefill=InstanceSpec(LLAMA3_8B, H100, 1), n_prefill=1,
+        decode=InstanceSpec(LLAMA3_8B, H100, 1), n_decode=1,
+        max_prefill_batch=4, max_decode_batch=64,
+    )
+
+
+def ensemble(deployment, n_replicas: int = 3, **kwargs) -> SimulationEnsemble:
+    kwargs.setdefault("failure_model", FailureModel(mtbf=120.0, mttr=15.0))
+    return SimulationEnsemble(
+        deployment, SimConfig(max_sim_time=120.0), n_replicas=n_replicas, **kwargs
+    )
+
+
+def _report(**overrides) -> SimReport:
+    fields = dict(
+        completed=10, dropped=0, duration=10.0, ttft_p50=0.1, ttft_p99=0.2,
+        tbt_mean=0.01, tbt_p99=0.02, e2e_p50=1.0, e2e_p99=2.0,
+        output_tokens_per_s=100.0, prefill_utilization=0.5, decode_utilization=0.5,
+        requeued_on_failure=0, restarted_requests=0,
+    )
+    fields.update(overrides)
+    return SimReport(**fields)
+
+
+class TestConstruction:
+    def test_rejects_zero_replicas(self):
+        with pytest.raises(SpecError):
+            SimulationEnsemble(colocated_pool(), n_replicas=0)
+
+    def test_rejects_non_deployment(self):
+        with pytest.raises(SpecError):
+            SimulationEnsemble("not a deployment")
+
+    def test_replica_seeds_distinct_and_stable(self):
+        e = ensemble(colocated_pool(), n_replicas=8)
+        seeds = e.replica_seeds()
+        assert len(set(seeds)) == 8
+        assert seeds == ensemble(colocated_pool(), n_replicas=8).replica_seeds()
+
+
+class TestAggregation:
+    def test_mean_and_ci(self):
+        reports = [_report(output_tokens_per_s=v) for v in (90.0, 100.0, 110.0)]
+        agg = aggregate_reports(reports, [1, 2, 3])
+        assert agg.mean.output_tokens_per_s == pytest.approx(100.0)
+        # s = 10, n = 3: half-width = 1.96 * 10 / sqrt(3)
+        assert agg.hi.output_tokens_per_s - agg.lo.output_tokens_per_s == pytest.approx(
+            2 * 1.959963984540054 * 10.0 / math.sqrt(3.0)
+        )
+        assert agg.n_replicas == 3 and len(agg.reports) == 3
+
+    def test_single_replica_zero_width(self):
+        agg = aggregate_reports([_report()], [0])
+        assert agg.mean == agg.lo == agg.hi
+
+    def test_nan_metrics_stay_nan(self):
+        empty = _report(completed=0, ttft_p50=float("nan"), ttft_p99=float("nan"))
+        agg = aggregate_reports([empty, _report()], [0, 1])
+        assert math.isnan(agg.mean.ttft_p50) and math.isnan(agg.lo.ttft_p50)
+        assert agg.mean.completed == pytest.approx(5.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SpecError):
+            aggregate_reports([], [])
+
+
+class TestRun:
+    def test_phase_split_and_colocated(self):
+        for deployment in (phase_pools(), colocated_pool()):
+            report = ensemble(deployment).run(trace())
+            assert isinstance(report, EnsembleReport)
+            assert report.n_replicas == 3
+            assert report.mean.completed > 0
+            assert report.lo.output_tokens_per_s <= report.hi.output_tokens_per_s
+
+    def test_parallel_matches_serial(self):
+        serial = ensemble(colocated_pool()).run(trace(), workers=1)
+        parallel = ensemble(colocated_pool()).run(trace(), workers=3)
+        assert serial == parallel
+
+    def test_distinct_failure_seeds_differ(self):
+        # With aggressive failures the replicas must not all be clones.
+        e = ensemble(colocated_pool(), n_replicas=6,
+                     failure_model=FailureModel(mtbf=20.0, mttr=10.0))
+        report = e.run(trace(duration=20.0))
+        assert len({r.requeued_on_failure for r in report.reports} |
+                   {r.output_tokens_per_s for r in report.reports}) > 1
+
+    def test_no_failure_model_replicas_identical(self):
+        e = SimulationEnsemble(colocated_pool(), SimConfig(max_sim_time=120.0), n_replicas=3)
+        report = e.run(trace())
+        assert report.reports[0] == report.reports[1] == report.reports[2]
+        assert report.mean == report.lo == report.hi
+
+    def test_cache_cold_equals_warm(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = ensemble(colocated_pool()).run(trace(), cache=cache)
+        assert cache.cache_info()["stores"] == 3
+        warm = ensemble(colocated_pool()).run(trace(), cache=cache)
+        assert cold == warm
+        assert cache.cache_info()["hits"] == 3

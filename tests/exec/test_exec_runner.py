@@ -1,0 +1,97 @@
+"""Parallel runner tests: ordering, determinism, isolation, caching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecError
+from repro.exec.cache import ResultCache
+from repro.exec.runner import Job, JobOutcome, run_many
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _boom(x: int) -> int:
+    raise ValueError(f"bad point {x}")
+
+
+def _mixed(x: int) -> int:
+    if x == 2:
+        raise RuntimeError("two is right out")
+    return x + 10
+
+
+class TestRunMany:
+    def test_preserves_job_order(self):
+        outcomes = run_many([Job(fn=_square, args=(i,)) for i in range(8)])
+        assert [o.value for o in outcomes] == [i * i for i in range(8)]
+
+    def test_workers_equivalent_to_serial(self):
+        jobs = [Job(fn=_square, args=(i,), label=str(i)) for i in range(10)]
+        serial = run_many(jobs, workers=1)
+        parallel = run_many(jobs, workers=4)
+        assert [o.value for o in serial] == [o.value for o in parallel]
+        assert [o.label for o in parallel] == [str(i) for i in range(10)]
+
+    def test_error_isolation(self):
+        outcomes = run_many([Job(fn=_mixed, args=(i,)) for i in range(4)], workers=2)
+        assert [o.ok for o in outcomes] == [True, True, False, True]
+        assert outcomes[2].error == "RuntimeError: two is right out"
+        assert [o.value for o in outcomes] == [10, 11, None, 13]
+
+    def test_all_errors_never_raise(self):
+        outcomes = run_many([Job(fn=_boom, args=(i,)) for i in range(3)])
+        assert all(not o.ok for o in outcomes)
+        assert all("bad point" in o.error for o in outcomes)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(SpecError):
+            run_many([Job(fn=_square, args=(1,))], workers=0)
+
+    def test_empty_jobs(self):
+        assert run_many([]) == []
+
+    def test_kwargs_pass_through(self):
+        outcomes = run_many([Job(fn=int, args=("ff",), kwargs={"base": 16})])
+        assert outcomes[0].value == 255
+
+
+class TestRunManyCache:
+    def test_hits_skip_execution_and_match(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = [Job(fn=_square, args=(i,), key=cache.key("sq", i)) for i in range(5)]
+        cold = run_many(jobs, cache=cache)
+        warm = run_many(jobs, cache=cache)
+        assert [o.value for o in cold] == [o.value for o in warm]
+        assert not any(o.cached for o in cold)
+        assert all(o.cached for o in warm)
+        assert cache.cache_info()["hits"] == 5
+
+    def test_errors_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = [Job(fn=_boom, args=(1,), key=cache.key("boom"))]
+        run_many(jobs, cache=cache)
+        assert cache.entries() == 0
+        again = run_many(jobs, cache=cache)
+        assert not again[0].ok and not again[0].cached
+
+    def test_unkeyed_jobs_bypass_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_many([Job(fn=_square, args=(3,))], cache=cache)
+        assert cache.cache_info() == {"hits": 0, "misses": 0, "stores": 0, "entries": 0}
+
+    def test_parallel_workers_populate_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = [Job(fn=_square, args=(i,), key=cache.key("p", i)) for i in range(6)]
+        run_many(jobs, workers=3, cache=cache)
+        assert cache.entries() == 6
+        warm = run_many(jobs, workers=3, cache=cache)
+        assert all(o.cached for o in warm)
+
+
+class TestJobOutcome:
+    def test_ok_property(self):
+        assert JobOutcome(value=1).ok
+        assert not JobOutcome(error="ValueError: x").ok

@@ -15,7 +15,7 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in ("table1", "fig1", "fig2", "fig3a", "fig3b", "report",
-                        "search", "tco", "simulate"):
+                        "search", "tco", "simulate", "sweep"):
             args = parser.parse_args([command])
             assert callable(args.fn)
 
@@ -76,3 +76,59 @@ class TestCommands:
         assert main(["simulate", "--context-bucket", "0"]) == 2
         err = capsys.readouterr().err
         assert "error:" in err and "context_bucket" in err
+
+
+class TestSweepCommand:
+    def _argv(self, tmp_path, *extra):
+        return [
+            "sweep", "--model", "Llama3-8B", "--gpu", "H100",
+            "--rates", "2,3", "--sizes", "1", "--duration", "4",
+            "--cache-dir", str(tmp_path / "cache"), *extra,
+        ]
+
+    def test_sweep_runs_grid_and_renders_table(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "Sweep grid" in out
+        assert "rate=2 size=1" in out and "rate=3 size=1" in out
+        assert "best throughput:" in out
+        assert "0 hits" in out and "2 stored" in out
+
+    def test_second_invocation_hits_cache(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path)) == 0
+        first = capsys.readouterr().out
+        assert main(self._argv(tmp_path)) == 0
+        second = capsys.readouterr().out
+        assert "2 hits" in second and "[cached]" in second
+        # Warm results are bit-identical: the rendered rows must not change.
+        table_rows = [line.replace(" [cached]", "") for line in second.splitlines()
+                      if line.startswith("rate=")]
+        assert table_rows == [line for line in first.splitlines() if line.startswith("rate=")]
+
+    def test_no_cache_flag(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path, "--no-cache")) == 0
+        out = capsys.readouterr().out
+        assert "cache: disabled" in out
+        assert not (tmp_path / "cache").exists()
+
+    def test_parallel_workers(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path, "--workers", "2", "--no-cache")) == 0
+        assert "2 worker(s)" in capsys.readouterr().out
+
+    def test_phase_split_shape(self, capsys, tmp_path):
+        assert main(self._argv(
+            tmp_path, "--shape", "phase-split",
+            "--prefill-gpu", "H100", "--decode-gpu", "H100",
+        )) == 0
+        assert "phase-split" in capsys.readouterr().out
+
+    def test_infeasible_grid_reports_clean_error(self, capsys, tmp_path):
+        # 405B weights cannot fit one H100: every point errors, exit code 2.
+        assert main([
+            "sweep", "--model", "Llama3-405B", "--gpu", "H100",
+            "--rates", "2", "--sizes", "1", "--duration", "4",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 2
+        captured = capsys.readouterr()
+        assert "ERROR" in captured.out  # the per-point error line
+        assert "no sweep point completed successfully" in captured.err

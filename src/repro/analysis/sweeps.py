@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import types
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..errors import SpecError
@@ -26,6 +27,24 @@ from ..exec.cache import ResultCache
 from ..exec.runner import Job, run_many
 
 __all__ = ["sweep_1d", "sweep_grid", "argbest"]
+
+
+def _code_fingerprint(code: types.CodeType) -> bytes:
+    """Process-stable behavior fingerprint of a code object.
+
+    ``repr(co_consts)`` is NOT stable across processes when a constant is a
+    nested code object (its repr embeds a memory address), which would make
+    the on-disk cache silently miss on every run for any function containing
+    a lambda/inner def — so nested code objects are fingerprinted
+    recursively instead of repr'd.
+    """
+    consts = []
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            consts.append(("code", _code_fingerprint(const)))
+        else:
+            consts.append(repr(const))
+    return code.co_code + repr((consts, code.co_names, code.co_varnames)).encode()
 
 
 def _callable_id(fn: Callable) -> str:
@@ -47,8 +66,7 @@ def _callable_id(fn: Callable) -> str:
     parts = [f"{module}.{name}"]
     code = getattr(fn, "__code__", None)
     if code is not None:
-        behavior = code.co_code + repr((code.co_consts, code.co_names, code.co_varnames)).encode()
-        parts.append(hashlib.sha256(behavior).hexdigest()[:16])
+        parts.append(hashlib.sha256(_code_fingerprint(code)).hexdigest()[:16])
     closure = getattr(fn, "__closure__", None)
     if closure:
         parts.append(repr([cell.cell_contents for cell in closure]))
@@ -69,7 +87,10 @@ def _run_points(
     for point in points:
         key = None
         if cache is not None:
-            key = cache.key("sweep", _callable_id(fn), sorted(point.items()))
+            # Insertion order, not sorted(): points are passed positionally
+            # (fn(*point.values())), so axis-swapped sweeps of the same
+            # callable are different computations and must not share keys.
+            key = cache.key("sweep", _callable_id(fn), list(point.items()))
         jobs.append(Job(fn=fn, args=tuple(point.values()), key=key, label=repr(point)))
     outcomes = run_many(jobs, workers=workers, cache=cache)
     records = []

@@ -9,7 +9,10 @@ Usage::
     python -m repro tco --model Llama3-70B
     python -m repro simulate --shape phase-split --policy fcfs
     python -m repro simulate --shape colocated --mtbf-hours 0.5
+    python -m repro simulate --topology direct --group 8 --network-model fabric \
+        --placer scattered                       # topology-aware serving
     python -m repro sweep --rates 2,4,6 --sizes 1,2 --workers 4
+    python -m repro topology --gpus 128 --group 4  # fabric comparison table
 
 All subcommands print plain text and touch neither the network nor disk —
 except ``sweep``, which (unless ``--no-cache``) persists finished points
@@ -32,6 +35,7 @@ from .analysis.figures import (
 from .analysis.report import experiment_report, simulation_table
 from .analysis.tables import format_table, render_fig3_panel, render_table1
 from .cluster.failures import FailureModel
+from .cluster.placement import PLACERS, placement_hop_stats
 from .cluster.policies import POLICY_BUNDLES
 from .cluster.scheduler import ColocatedPool, InstanceSpec, PhasePools
 from .cluster.simulator import ColocatedSimulator, ServingSimulator, SimConfig
@@ -43,7 +47,14 @@ from .exec.cache import ResultCache
 from .exec.runner import Job, run_many
 from .hardware.gpu import H100, get_gpu
 from .hardware.tco import cluster_tco, tokens_per_dollar_comparison
-from .units import HOUR
+from .network.fabric import compare_fabrics
+from .network.topology import (
+    DirectConnectTopology,
+    FlatCircuitTopology,
+    SwitchedTopology,
+    Topology,
+)
+from .units import GB_PER_S, HOUR, KILOWATT
 from .workloads.models import get_model
 from .workloads.traces import TraceConfig, generate_trace, trace_fingerprint
 
@@ -125,7 +136,65 @@ def _cmd_tco(args: argparse.Namespace) -> None:
     )
 
 
+def _build_topology(kind: str, n_gpus: int, group: int) -> Optional[Topology]:
+    """Materialize a CLI-selected topology over ``n_gpus`` endpoints.
+
+    Direct-connect fabrics round the GPU count up to a whole number of
+    groups (spare endpoints simply stay unplaced).
+    """
+    if kind == "none":
+        return None
+    if group <= 0:
+        raise SimulationError("--group must be positive")
+    if n_gpus <= 0:
+        raise SimulationError("--cluster-gpus must be positive")
+    if kind == "direct":
+        n = ((n_gpus + group - 1) // group) * group
+        return DirectConnectTopology(n_gpus=n, group=group)
+    if kind == "switched":
+        return SwitchedTopology(n_gpus=n_gpus)
+    return FlatCircuitTopology(n_gpus=n_gpus)
+
+
+def _check_topology_flags(args: argparse.Namespace) -> None:
+    """Reject placement flags that would be silently ignored without a
+    topology (``--network-model fabric`` already fails in the simulator)."""
+    if args.topology == "none" and (args.placer != "packed" or args.cluster_gpus):
+        raise SimulationError(
+            "--placer/--cluster-gpus have no effect without --topology "
+            "direct|switched|circuit"
+        )
+
+
+def _cmd_topology(args: argparse.Namespace) -> None:
+    reports = compare_fabrics(args.gpus, group=args.group, utilization=args.utilization)
+    rows = [
+        [
+            r.name,
+            r.n_switches,
+            r.n_links,
+            r.n_ports,
+            f"{r.capex_usd:,.0f}",
+            f"{r.capex_per_gpu:,.0f}",
+            f"{r.power_w / KILOWATT:.1f}",
+            f"{r.per_gpu_bandwidth / GB_PER_S:.0f}",
+            f"{r.bisection_bandwidth / GB_PER_S:,.0f}",
+            f"{r.avg_hops:.2f}",
+        ]
+        for r in reports
+    ]
+    print(
+        format_table(
+            ["fabric", "switches", "links", "ports", "capex $", "$/GPU",
+             "power kW", "GB/s/GPU", "bisection GB/s", "avg hops"],
+            rows,
+            title=f"Fabric comparison: {args.gpus} GPUs, group {args.group}",
+        )
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> None:
+    _check_topology_flags(args)
     model = get_model(args.model)
     trace = generate_trace(
         TraceConfig(
@@ -141,7 +210,7 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
     if args.mtbf_hours > 0:
         failure_model = FailureModel(mtbf=args.mtbf_hours * HOUR, mttr=args.mttr_hours * HOUR)
     if args.shape == "phase-split":
-        pools = PhasePools(
+        deployment = PhasePools(
             prefill=InstanceSpec(model, get_gpu(args.prefill_gpu), args.gpus_per_instance),
             n_prefill=args.n_prefill,
             decode=InstanceSpec(model, get_gpu(args.decode_gpu), args.gpus_per_instance),
@@ -149,23 +218,24 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
             max_prefill_batch=args.max_prefill_batch,
             max_decode_batch=args.max_decode_batch,
         )
-        description = pools.describe()
-        simulator = ServingSimulator(
-            pools, config,
-            policies=args.policy, failure_model=failure_model, failure_seed=args.failure_seed,
-        )
+        simulator_cls = ServingSimulator
     else:
-        pool = ColocatedPool(
+        deployment = ColocatedPool(
             instance=InstanceSpec(model, get_gpu(args.gpu), args.gpus_per_instance),
             n_instances=args.n_instances,
             max_decode_batch=args.max_decode_batch,
             chunk_tokens=args.chunk_tokens,
         )
-        description = pool.describe()
-        simulator = ColocatedSimulator(
-            pool, config,
-            policies=args.policy, failure_model=failure_model, failure_seed=args.failure_seed,
-        )
+        simulator_cls = ColocatedSimulator
+    description = deployment.describe()
+    topology = _build_topology(
+        args.topology, args.cluster_gpus or deployment.total_gpus, args.group
+    )
+    simulator = simulator_cls(
+        deployment, config,
+        policies=args.policy, failure_model=failure_model, failure_seed=args.failure_seed,
+        topology=topology, placer=args.placer, network_model=args.network_model,
+    )
     report = simulator.run(trace)
     failure_note = (
         f"stochastic failures MTBF {args.mtbf_hours:g}h / MTTR {args.mttr_hours:g}h "
@@ -173,6 +243,13 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
     )
     print(f"{description}")
     print(f"policy '{args.policy}', trace {len(trace)} requests @ {args.rate:g}/s, {failure_note}")
+    if topology is not None:
+        stats = placement_hop_stats(topology, simulator.placement)
+        print(
+            f"topology {args.topology} x{topology.n_gpus}, placer '{args.placer}', "
+            f"network model '{args.network_model}' "
+            f"(intra-instance hops mean {stats['mean_hops']:.2f} max {stats['max_hops']:.0f})"
+        )
     print(simulation_table({args.shape: report}))
     print(report.describe())
 
@@ -192,19 +269,26 @@ def _sweep_point(
     policy: str,
     max_sim_time: float,
     context_bucket: int,
+    topology_kind: str,
+    cluster_gpus: int,
+    group: int,
+    placer: str,
+    network_model: str,
     trace_config: TraceConfig,
     trace_seed: int,
 ):
     """Run one sweep point (module-level so worker processes can pickle it).
 
     The trace regenerates from its config inside the worker — deterministic,
-    and far cheaper to ship than thousands of pickled Request objects.
+    and far cheaper to ship than thousands of pickled Request objects.  The
+    topology/placement arguments are part of the point tuple the cache key
+    hashes, so topology sweeps never collide with cached non-network runs.
     """
     trace = generate_trace(trace_config, seed=trace_seed)
     model = get_model(model_name)
     config = SimConfig(max_sim_time=max_sim_time, context_bucket=context_bucket)
     if shape == "phase-split":
-        pools = PhasePools(
+        deployment = PhasePools(
             prefill=InstanceSpec(model, get_gpu(prefill_gpu), gpus_per_instance),
             n_prefill=n_prefill,
             decode=InstanceSpec(model, get_gpu(decode_gpu), gpus_per_instance),
@@ -212,19 +296,25 @@ def _sweep_point(
             max_prefill_batch=max_prefill_batch,
             max_decode_batch=max_decode_batch,
         )
-        simulator = ServingSimulator(pools, config, policies=policy)
+        simulator_cls = ServingSimulator
     else:
-        pool = ColocatedPool(
+        deployment = ColocatedPool(
             instance=InstanceSpec(model, get_gpu(gpu), gpus_per_instance),
             n_instances=size,
             max_decode_batch=max_decode_batch,
             chunk_tokens=chunk_tokens,
         )
-        simulator = ColocatedSimulator(pool, config, policies=policy)
+        simulator_cls = ColocatedSimulator
+    topology = _build_topology(topology_kind, cluster_gpus or deployment.total_gpus, group)
+    simulator = simulator_cls(
+        deployment, config, policies=policy,
+        topology=topology, placer=placer, network_model=network_model,
+    )
     return simulator.run(trace)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> None:
+    _check_topology_flags(args)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     trace_configs = {
         rate: TraceConfig(
@@ -249,6 +339,8 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
                 args.gpus_per_instance, args.n_prefill, size,
                 args.max_prefill_batch, args.max_decode_batch, args.chunk_tokens,
                 args.policy, args.max_sim_time, args.context_bucket,
+                args.topology, args.cluster_gpus, args.group,
+                args.placer, args.network_model,
             )
             key = None
             if cache is not None:
@@ -295,6 +387,21 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         )
     else:
         print("cache: disabled")
+
+
+def _add_topology_args(parser: argparse.ArgumentParser) -> None:
+    """The shared topology co-simulation flags (simulate + sweep)."""
+    parser.add_argument("--topology", default="none",
+                        choices=("none", "direct", "switched", "circuit"),
+                        help="co-simulate a network fabric (none = legacy behaviour)")
+    parser.add_argument("--cluster-gpus", type=int, default=0,
+                        help="fabric endpoint count (0 = deployment total)")
+    parser.add_argument("--group", type=int, default=4,
+                        help="direct-connect Lite-group size")
+    parser.add_argument("--placer", default="packed", choices=sorted(PLACERS),
+                        help="instance-to-GPU placement strategy")
+    parser.add_argument("--network-model", default="none", choices=("none", "fabric"),
+                        help="service-time network model (fabric = placed collectives)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -353,7 +460,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-GPU MTBF for stochastic failures (0 = off)")
     simulate.add_argument("--mttr-hours", type=float, default=0.25)
     simulate.add_argument("--failure-seed", type=int, default=0)
+    _add_topology_args(simulate)
     simulate.set_defaults(fn=_cmd_simulate)
+
+    topology = sub.add_parser(
+        "topology", help="compare the three fabric options at a given scale"
+    )
+    topology.add_argument("--gpus", type=int, default=64, help="cluster GPU count")
+    topology.add_argument("--group", type=int, default=4,
+                          help="direct-connect Lite-group size")
+    topology.add_argument("--utilization", type=float, default=0.5,
+                          help="average traffic level for the power rollup")
+    topology.set_defaults(fn=_cmd_topology)
 
     sweep = sub.add_parser(
         "sweep",
@@ -382,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0, help="trace RNG seed")
     sweep.add_argument("--max-sim-time", type=float, default=600.0)
     sweep.add_argument("--context-bucket", type=int, default=1)
+    _add_topology_args(sweep)
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = in-process)")
     sweep.add_argument("--cache-dir", default=".repro_cache",

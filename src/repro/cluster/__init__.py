@@ -3,6 +3,8 @@
 Makes Section 3's systems opportunities executable:
 
 - :mod:`repro.cluster.spec` — cluster composition and rollups.
+- :mod:`repro.cluster.placement` — mapping simulator instances onto
+  physical topology GPUs (packed / scattered / random / greedy placers).
 - :mod:`repro.cluster.allocator` — finer-granularity resource management.
 - :mod:`repro.cluster.failures` — failure models and blast radius.
 - :mod:`repro.cluster.availability` — Monte-Carlo availability + hot spares.
@@ -19,16 +21,37 @@ Makes Section 3's systems opportunities executable:
 """
 
 from .spec import ClusterSpec, lite_equivalent
+from .placement import (
+    PLACERS,
+    Placement,
+    PoolShape,
+    get_placer,
+    place,
+    placement_hop_stats,
+)
 from .allocator import Allocation, AllocationRequest, ResourceAllocator, quantization_waste
 from .datacenter import RackPlan, RackSpec, floor_plan, lite_vs_h100_floor, plan_racks, reach_check
 from .provisioning import ProvisioningPlan, WorkloadForecast, phase_gpu_ratio, provision_pools
-from .failures import BlastRadius, FailureModel, InstanceReliability, sample_failure_schedule
+from .failures import (
+    BlastRadius,
+    ComponentFailure,
+    ComponentFailureModel,
+    FailureModel,
+    InstanceReliability,
+    resolve_component_failures,
+    sample_failure_schedule,
+)
 from .availability import AvailabilityResult, SparePolicy, simulate_availability
 from .memory import DisaggregatedPool, KVPlacementPolicy, MemorySystem
 from .power_manager import ClusterPowerManager, PeakStrategy
 from .scheduler import ColocatedPool, InstanceSpec, PhasePools, PhaseSplitScheduler
 from .policies import POLICY_BUNDLES, PolicyBundle, get_policy_bundle
-from .engine import EventQueue, ServiceTimeProvider
+from .engine import (
+    AbstractServiceTimeProvider,
+    EventQueue,
+    NetworkAwareServiceTimeProvider,
+    ServiceTimeProvider,
+)
 from .simulator import (
     ColocatedSimulator,
     CompletedRequest,
@@ -40,6 +63,12 @@ from .simulator import (
 __all__ = [
     "ClusterSpec",
     "lite_equivalent",
+    "PLACERS",
+    "Placement",
+    "PoolShape",
+    "get_placer",
+    "place",
+    "placement_hop_stats",
     "RackPlan",
     "RackSpec",
     "floor_plan",
@@ -55,8 +84,11 @@ __all__ = [
     "ResourceAllocator",
     "quantization_waste",
     "BlastRadius",
+    "ComponentFailure",
+    "ComponentFailureModel",
     "FailureModel",
     "InstanceReliability",
+    "resolve_component_failures",
     "sample_failure_schedule",
     "AvailabilityResult",
     "SparePolicy",
@@ -73,7 +105,9 @@ __all__ = [
     "POLICY_BUNDLES",
     "PolicyBundle",
     "get_policy_bundle",
+    "AbstractServiceTimeProvider",
     "EventQueue",
+    "NetworkAwareServiceTimeProvider",
     "ServiceTimeProvider",
     "ColocatedSimulator",
     "CompletedRequest",

@@ -27,6 +27,7 @@ overlapping failures extend an outage rather than truncating it.
 
 from __future__ import annotations
 
+import abc
 import copy
 import heapq
 import itertools
@@ -38,13 +39,18 @@ import numpy as np
 
 from ..core.chunked import MixedIteration, mixed_iteration_time
 from ..errors import SimulationError, SpecError
+from ..network.collectives import Collective, cost_for
+from ..network.topology import Topology
+from ..network.traffic import congestion_slowdown
 from ..workloads.traces import Request
 from .policies import PolicyBundle
 from .scheduler import ColocatedPool, InstanceSpec, PhasePools
 
 __all__ = [
     "EventQueue",
+    "AbstractServiceTimeProvider",
     "ServiceTimeProvider",
+    "NetworkAwareServiceTimeProvider",
     "ActiveSequence",
     "PrefillState",
     "DecodeState",
@@ -103,7 +109,38 @@ class EventQueue:
         return bool(self._heap)
 
 
-class ServiceTimeProvider:
+class AbstractServiceTimeProvider(abc.ABC):
+    """The engines' service-time oracle interface.
+
+    Implementations answer "how long does one batch/iteration take on
+    instance ``instance`` of this pool?".  The baseline
+    :class:`ServiceTimeProvider` ignores ``instance`` (every instance of a
+    pool is identical when the network is not modeled);
+    :class:`NetworkAwareServiceTimeProvider` uses it to price each
+    instance's collectives from its *placed* GPU group.
+    """
+
+    @abc.abstractmethod
+    def prefill_time(self, batch: int, prompt_len: int, instance: int = 0) -> float:
+        """Latency of one prefill batch."""
+
+    @abc.abstractmethod
+    def decode_time(self, batch: int, context_len: int, instance: int = 0) -> float:
+        """Latency of one decode iteration."""
+
+    @abc.abstractmethod
+    def mixed_time(
+        self, decode_batch: int, context_len: int, chunk: int, prompt_len: int,
+        instance: int = 0,
+    ) -> float:
+        """Latency of one SARATHI-style mixed decode+chunk iteration."""
+
+    @abc.abstractmethod
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters (for benchmarks/tests)."""
+
+
+class ServiceTimeProvider(AbstractServiceTimeProvider):
     """Memoizing service-time oracle for one :class:`InstanceSpec`.
 
     The analytical model is pure, so identical ``(batch, context)`` queries
@@ -144,21 +181,24 @@ class ServiceTimeProvider:
             self._cache[key] = value
         return value
 
-    def prefill_time(self, batch: int, prompt_len: int) -> float:
+    def prefill_time(self, batch: int, prompt_len: int, instance: int = 0) -> float:
         """Latency of one prefill batch (prompt length bucketed)."""
         prompt = self._bucket(prompt_len)
         return self._memo(
             ("p", batch, prompt), lambda: self.instance.prefill_time(batch, prompt)
         )
 
-    def decode_time(self, batch: int, context_len: int) -> float:
+    def decode_time(self, batch: int, context_len: int, instance: int = 0) -> float:
         """Latency of one decode iteration (context bucketed)."""
         context = self._bucket(context_len)
         return self._memo(
             ("d", batch, context), lambda: self.instance.decode_time(batch, context)
         )
 
-    def mixed_time(self, decode_batch: int, context_len: int, chunk: int, prompt_len: int) -> float:
+    def mixed_time(
+        self, decode_batch: int, context_len: int, chunk: int, prompt_len: int,
+        instance: int = 0,
+    ) -> float:
         """Latency of one SARATHI-style mixed decode+chunk iteration."""
         context = self._bucket(context_len)
         prompt = self._bucket(prompt_len)
@@ -177,6 +217,127 @@ class ServiceTimeProvider:
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss counters and resident entries (for benchmarks/tests)."""
         return {"hits": self.hits, "misses": self.misses, "entries": len(self._cache)}
+
+
+class NetworkAwareServiceTimeProvider(ServiceTimeProvider):
+    """Service times that include *placed* collective costs on a fabric.
+
+    The analytical roofline already charges tensor-parallel collectives at
+    the GPU's nominal mesh/net bandwidth — the ideal, placement-blind
+    figure.  This provider adds the *fabric overlay*: what the cluster
+    network charges on top, given where the instance's TP group actually
+    landed on the topology.  Per iteration it prices the two Megatron
+    all-reduces per layer (:func:`repro.network.collectives.cost_for`) at
+
+    - the topology's per-GPU injection bandwidth (derated by the policy's
+      ``net_efficiency``),
+    - an alpha scaled by the group's worst pairwise hop count
+      (:meth:`~repro.network.topology.Topology.hop_count`), and
+    - a link-contention multiplier from the group's ring traffic matrix
+      (:func:`repro.network.traffic.congestion_slowdown`).
+
+    Packed placements (TP groups inside one direct-connect group / leaf)
+    therefore beat scattered ones on the same deployment — the co-design
+    signal the paper's Section 3 is after.  Groups of one GPU pay nothing.
+    """
+
+    def __init__(
+        self,
+        instance: InstanceSpec,
+        topology: Topology,
+        groups: Sequence[Tuple[int, ...]],
+        context_bucket: int = 1,
+        cache: bool = True,
+        contention: bool = True,
+    ) -> None:
+        super().__init__(instance, context_bucket, cache)
+        if not groups:
+            raise SpecError("network-aware provider needs at least one placed group")
+        for group in groups:
+            if len(group) != instance.n_gpus:
+                raise SpecError(
+                    f"placed group width {len(group)} != instance TP degree {instance.n_gpus}"
+                )
+        self.topology = topology
+        self.groups = tuple(tuple(g) for g in groups)
+        self.contention_enabled = contention
+        # Per-group fabric parameters, deduplicated: packed placements give
+        # every instance an identical (hops, contention) signature, so the
+        # overhead memo below collapses to one entry per distinct signature.
+        self._params: List[Tuple[int, int, float, float]] = []
+        bandwidth = topology.per_gpu_bandwidth * instance.policy.net_efficiency
+        for group in self.groups:
+            world = len(group)
+            if world == 1:
+                self._params.append((1, 0, 1.0, bandwidth))
+                continue
+            max_hops = max(
+                topology.hop_count(a, b) for i, a in enumerate(group) for b in group[i + 1 :]
+            )
+            slowdown = 1.0
+            if contention:
+                slowdown = max(1.0, congestion_slowdown(topology, self._ring_matrix(group)))
+            self._params.append((world, max_hops, slowdown, bandwidth))
+        self._overhead_cache: Dict[tuple, float] = {}
+
+    def _ring_matrix(self, group: Tuple[int, ...]) -> np.ndarray:
+        """Ring-collective demand over the placed group (nominal volume)."""
+        n = self.topology.n_gpus
+        matrix = np.zeros((n, n))
+        nominal = 1e9  # scale-free: congestion_slowdown normalizes it away
+        for i, src in enumerate(group):
+            matrix[src, group[(i + 1) % len(group)]] = nominal
+        return matrix
+
+    def fabric_info(self) -> List[Dict[str, float]]:
+        """Per-instance fabric parameters (for tests and reports)."""
+        return [
+            {"world": w, "max_hops": h, "contention": c, "bandwidth": bw}
+            for w, h, c, bw in self._params
+        ]
+
+    def _fabric_overhead(self, instance: int, tokens: int) -> float:
+        """Fabric collective time for one pass moving ``tokens`` activations."""
+        if not 0 <= instance < len(self._params):
+            raise SpecError(f"instance index {instance} out of placed range")
+        world, max_hops, slowdown, bandwidth = self._params[instance]
+        if world == 1 or tokens <= 0:
+            return 0.0
+        key = (world, max_hops, slowdown, tokens)
+        if self.cache_enabled:
+            cached = self._overhead_cache.get(key)
+            if cached is not None:
+                return cached
+        spec = self.instance
+        size = tokens * spec.model.hidden * spec.policy.act_bytes
+        alpha = spec.policy.alpha * max(1, max_hops)
+        per_layer = cost_for(Collective.ALL_REDUCE, size, world, bandwidth, alpha).time
+        overhead = 2.0 * spec.model.layers * per_layer * slowdown
+        if self.cache_enabled:
+            self._overhead_cache[key] = overhead
+        return overhead
+
+    def prefill_time(self, batch: int, prompt_len: int, instance: int = 0) -> float:
+        base = super().prefill_time(batch, prompt_len)
+        return base + self._fabric_overhead(instance, batch * self._bucket(prompt_len))
+
+    def decode_time(self, batch: int, context_len: int, instance: int = 0) -> float:
+        base = super().decode_time(batch, context_len)
+        return base + self._fabric_overhead(instance, batch)
+
+    def mixed_time(
+        self, decode_batch: int, context_len: int, chunk: int, prompt_len: int,
+        instance: int = 0,
+    ) -> float:
+        base = super().mixed_time(decode_batch, context_len, chunk, prompt_len)
+        return base + self._fabric_overhead(instance, decode_batch + chunk)
+
+    def cache_info(self) -> Dict[str, int]:
+        """Base-model memo counters plus the fabric-overhead memo size."""
+        info = super().cache_info()
+        info["entries"] += len(self._overhead_cache)
+        info["overhead_entries"] = len(self._overhead_cache)
+        return info
 
 
 # --- instance state machines ------------------------------------------------
@@ -425,7 +586,7 @@ class PhaseSplitEngine(_EngineBase):
             if not batch:
                 continue
             prompt = max(r.prompt_tokens for r in batch)
-            latency = self.prefill_provider.prefill_time(len(batch), prompt)
+            latency = self.prefill_provider.prefill_time(len(batch), prompt, instance=idx)
             inst.busy = True
             inst.busy_time += latency
             self.events.push(time + latency, "prefill_done", (idx, tuple(batch)))
@@ -487,7 +648,7 @@ class PhaseSplitEngine(_EngineBase):
         else:
             context = int(np.mean([s.context_len for s in inst.active]))
         latency = max(
-            self.decode_provider.decode_time(batch, max(1, context)),
+            self.decode_provider.decode_time(batch, max(1, context), instance=idx),
             self.config.min_decode_interval,
         )
         inst.busy_time += latency
@@ -635,7 +796,7 @@ class ColocatedEngine(_EngineBase):
             context = int(np.mean([s.context_len for s in inst.active])) if inst.active else 1
         prompt_len = inst.current.request.prompt_tokens if inst.current else 1
         latency = max(
-            self.provider.mixed_time(batch, max(1, context), chunk, prompt_len),
+            self.provider.mixed_time(batch, max(1, context), chunk, prompt_len, instance=idx),
             self.config.min_decode_interval,
         )
         inst.busy_time += latency

@@ -26,7 +26,7 @@ behaviour is exactly the ``"fcfs"`` bundle of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..core.inference import (
     DecodeWorkload,
@@ -40,6 +40,7 @@ from ..core.roofline import RooflinePolicy
 from ..errors import SpecError
 from ..hardware.gpu import GPUSpec
 from ..workloads.transformer import ModelSpec
+from .placement import PoolShape
 from .policies import FCFSAdmission
 
 
@@ -121,6 +122,13 @@ class PhasePools:
             + self.n_decode * self.decode.n_gpus * self.decode.gpu.sms
         )
 
+    def pool_shapes(self) -> Tuple[PoolShape, ...]:
+        """The placement-layer description of this deployment's pools."""
+        return (
+            PoolShape("prefill", self.n_prefill, self.prefill.n_gpus),
+            PoolShape("decode", self.n_decode, self.decode.n_gpus),
+        )
+
     def describe(self) -> str:
         """One-line deployment summary."""
         return (
@@ -163,6 +171,10 @@ class ColocatedPool:
     def total_sms(self) -> int:
         """All SMs in the pool (for efficiency normalization)."""
         return self.total_gpus * self.instance.gpu.sms
+
+    def pool_shapes(self) -> Tuple[PoolShape, ...]:
+        """The placement-layer description of this deployment's pool."""
+        return (PoolShape("colocated", self.n_instances, self.instance.n_gpus),)
 
     def describe(self) -> str:
         """One-line deployment summary."""

@@ -38,15 +38,26 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import SpecError
+from ..exec.seeding import derive_seed
+from ..network.topology import Topology
 from ..workloads.traces import Request
 from .engine import (
+    AbstractServiceTimeProvider,
     ColocatedEngine,
     CompletedRequest,
+    NetworkAwareServiceTimeProvider,
     PhaseSplitEngine,
     ServiceTimeProvider,
     require_kv_headroom,
 )
-from .failures import FailureModel, sample_failure_schedule
+from .failures import (
+    ComponentFailure,
+    ComponentFailureModel,
+    FailureModel,
+    resolve_component_failures,
+    sample_failure_schedule,
+)
+from .placement import Placement, PoolShape, place
 from .policies import PolicyBundle, get_policy_bundle
 from .scheduler import ColocatedPool, PhasePools
 
@@ -56,7 +67,110 @@ __all__ = [
     "CompletedRequest",
     "ServingSimulator",
     "ColocatedSimulator",
+    "NETWORK_MODELS",
 ]
+
+#: Service-time network models: "none" keeps the placement-blind roofline
+#: oracle (bit-identical to the goldens); "fabric" overlays placed collective
+#: costs via :class:`~repro.cluster.engine.NetworkAwareServiceTimeProvider`.
+NETWORK_MODELS = ("none", "fabric")
+
+
+def _resolve_placement(
+    topology: Topology, placer: "str | Placement", shapes: Sequence[PoolShape]
+) -> Placement:
+    """Build (or validate) the placement for a deployment's pool shapes."""
+    if isinstance(placer, Placement):
+        if placer.n_gpus != topology.n_gpus:
+            raise SpecError(
+                f"placement spans {placer.n_gpus} GPUs but the topology has {topology.n_gpus}"
+            )
+        for shape in shapes:
+            groups = placer.groups(shape.name)
+            if len(groups) != shape.n_instances:
+                raise SpecError(
+                    f"placement has {len(groups)} '{shape.name}' instances, "
+                    f"deployment needs {shape.n_instances}"
+                )
+            for group in groups:
+                if len(group) != shape.gpus_per_instance:
+                    raise SpecError(
+                        f"placement group width {len(group)} != instance "
+                        f"TP degree {shape.gpus_per_instance} in pool '{shape.name}'"
+                    )
+        return placer
+    return place(topology, shapes, placer=placer)
+
+
+def _network_setup(
+    topology: Optional[Topology],
+    placer: "str | Placement",
+    network_model: str,
+    shapes: Sequence[PoolShape],
+    component_failures: Sequence[ComponentFailure],
+    component_model: Optional[ComponentFailureModel],
+) -> Optional[Placement]:
+    """Validate the co-simulation knobs and resolve the placement (if any)."""
+    if network_model not in NETWORK_MODELS:
+        raise SpecError(f"network_model must be one of {'/'.join(NETWORK_MODELS)}")
+    needs_topology = (
+        network_model != "none"
+        or component_model is not None
+        or bool(component_failures)
+        or isinstance(placer, Placement)
+    )
+    if topology is None:
+        if needs_topology:
+            raise SpecError(
+                "a topology is required for network_model != 'none', "
+                "component failures, or an explicit Placement"
+            )
+        return None
+    return _resolve_placement(topology, placer, shapes)
+
+
+def _make_provider(
+    instance_spec,
+    config: "SimConfig",
+    network_model: str,
+    topology: Optional[Topology],
+    placement: Optional[Placement],
+    pool_name: str,
+) -> "AbstractServiceTimeProvider":
+    """One service-time oracle for a pool: fabric-aware when requested."""
+    if network_model == "fabric":
+        return NetworkAwareServiceTimeProvider(
+            instance_spec, topology, placement.groups(pool_name),
+            config.context_bucket, config.cache_service_times,
+        )
+    return ServiceTimeProvider(
+        instance_spec, config.context_bucket, config.cache_service_times
+    )
+
+
+def _component_instance_failures(
+    topology: Topology,
+    placement: Placement,
+    component_failures: Sequence[ComponentFailure],
+    component_model: Optional[ComponentFailureModel],
+    horizon: float,
+    failure_seed: int,
+) -> List[Tuple[float, str, int, float]]:
+    """Resolve scripted + sampled component faults to instance outages.
+
+    The sampling seed is *derived from the topology and placement* (not the
+    bare ``failure_seed``): two sweeps differing only in fabric or placement
+    draw uncorrelated component schedules and never collide in caches keyed
+    on the derived seed.
+    """
+    events = list(component_failures)
+    rack_size = component_model.rack_size if component_model is not None else 8
+    if component_model is not None:
+        schedule_seed = derive_seed(failure_seed, "components", topology, placement)
+        events += component_model.sample_component_schedule(
+            topology, horizon, seed=schedule_seed
+        )
+    return resolve_component_failures(events, topology, placement, rack_size=rack_size)
 
 
 @dataclass(frozen=True)
@@ -199,6 +313,15 @@ class ServingSimulator:
     reproduces the seed simulator exactly.  ``failure_model`` adds
     stochastic instance failures (seeded by ``failure_seed``) on top of any
     scripted ``failures``.
+
+    Topology co-simulation: pass a ``topology`` to map every instance onto
+    physical GPUs (``placer`` names a :data:`repro.cluster.placement.PLACERS`
+    entry, or is an explicit :class:`Placement`).  With
+    ``network_model="fabric"`` service times gain placed collective costs;
+    the default ``"none"`` stays bit-identical to the goldens.  Component
+    faults — scripted :class:`ComponentFailure` events and/or a sampled
+    :class:`ComponentFailureModel` — are resolved through the placement onto
+    the instances they down.
     """
 
     def __init__(
@@ -210,14 +333,25 @@ class ServingSimulator:
         policies: PolicyBundle | str | None = None,
         failure_model: Optional[FailureModel] = None,
         failure_seed: int = 0,
+        topology: Optional[Topology] = None,
+        placer: "str | Placement" = "packed",
+        network_model: str = "none",
+        component_failures: Sequence[ComponentFailure] = (),
+        component_model: Optional[ComponentFailureModel] = None,
     ) -> None:
         self.pools = pools
         require_kv_headroom(pools.decode, "decode")  # fail fast, before run()
         self.config = config or SimConfig()
         self._policy_spec = policies
+        self.topology = topology
+        self.network_model = network_model
+        self.placement = _network_setup(
+            topology, placer, network_model, pools.pool_shapes(),
+            component_failures, component_model,
+        )
         all_failures = list(failures)
+        horizon = self.config.max_sim_time
         if failure_model is not None:
-            horizon = self.config.max_sim_time
             all_failures += sample_failure_schedule(
                 failure_model, "prefill", pools.n_prefill, horizon,
                 seed=failure_seed, gpus_per_instance=pools.prefill.n_gpus,
@@ -226,14 +360,19 @@ class ServingSimulator:
                 failure_model, "decode", pools.n_decode, horizon,
                 seed=failure_seed + 1, gpus_per_instance=pools.decode.n_gpus,
             )
+        if self.placement is not None and (component_failures or component_model is not None):
+            all_failures += _component_instance_failures(
+                topology, self.placement, component_failures, component_model,
+                horizon, failure_seed,
+            )
         self.failures = _validate_failures(
             all_failures, {"prefill": pools.n_prefill, "decode": pools.n_decode}
         )
-        self.prefill_provider = ServiceTimeProvider(
-            pools.prefill, self.config.context_bucket, self.config.cache_service_times
+        self.prefill_provider = _make_provider(
+            pools.prefill, self.config, network_model, topology, self.placement, "prefill"
         )
-        self.decode_provider = ServiceTimeProvider(
-            pools.decode, self.config.context_bucket, self.config.cache_service_times
+        self.decode_provider = _make_provider(
+            pools.decode, self.config, network_model, topology, self.placement, "decode"
         )
 
     def run(self, trace: Sequence[Request]) -> SimReport:
@@ -266,7 +405,9 @@ class ColocatedSimulator:
 
     Scripted failures use pool name ``"colocated"``.  The report's
     ``prefill_utilization`` and ``decode_utilization`` are both the pool's
-    busy fraction (there is only one pool).
+    busy fraction (there is only one pool).  The topology co-simulation
+    knobs (``topology``/``placer``/``network_model``/component failures)
+    behave exactly as on :class:`ServingSimulator`.
     """
 
     def __init__(
@@ -278,20 +419,37 @@ class ColocatedSimulator:
         policies: PolicyBundle | str | None = None,
         failure_model: Optional[FailureModel] = None,
         failure_seed: int = 0,
+        topology: Optional[Topology] = None,
+        placer: "str | Placement" = "packed",
+        network_model: str = "none",
+        component_failures: Sequence[ComponentFailure] = (),
+        component_model: Optional[ComponentFailureModel] = None,
     ) -> None:
         self.pool = pool
         self.config = config or SimConfig()
         self._policy_spec = policies
         require_kv_headroom(pool.instance, "colocated")  # fail fast, before run()
+        self.topology = topology
+        self.network_model = network_model
+        self.placement = _network_setup(
+            topology, placer, network_model, pool.pool_shapes(),
+            component_failures, component_model,
+        )
         all_failures = list(failures)
+        horizon = self.config.max_sim_time
         if failure_model is not None:
             all_failures += sample_failure_schedule(
-                failure_model, "colocated", pool.n_instances, self.config.max_sim_time,
+                failure_model, "colocated", pool.n_instances, horizon,
                 seed=failure_seed, gpus_per_instance=pool.instance.n_gpus,
             )
+        if self.placement is not None and (component_failures or component_model is not None):
+            all_failures += _component_instance_failures(
+                topology, self.placement, component_failures, component_model,
+                horizon, failure_seed,
+            )
         self.failures = _validate_failures(all_failures, {"colocated": pool.n_instances})
-        self.provider = ServiceTimeProvider(
-            pool.instance, self.config.context_bucket, self.config.cache_service_times
+        self.provider = _make_provider(
+            pool.instance, self.config, network_model, topology, self.placement, "colocated"
         )
 
     def run(self, trace: Sequence[Request]) -> SimReport:

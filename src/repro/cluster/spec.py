@@ -8,18 +8,21 @@ exercise (8x H100 vs. 32x Lite) generalized.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..errors import SpecError
 from ..hardware.cost import CostModel, PackagingTier
 from ..hardware.gpu import GPUSpec
 from ..hardware.scaling import LiteScaling, derive_lite_gpu
 from ..network.fabric import Fabric, FabricReport
+from ..network.routing import hop_count_matrix
 from ..network.topology import (
     DirectConnectTopology,
     FlatCircuitTopology,
     SwitchedTopology,
     Topology,
 )
+from .placement import Placement, PoolShape, place
 
 
 @dataclass(frozen=True)
@@ -83,6 +86,26 @@ class ClusterSpec:
         if self.topology_kind == "switched":
             return SwitchedTopology(n_gpus=self.n_gpus)
         return FlatCircuitTopology(n_gpus=self.n_gpus)
+
+    def placement_for(
+        self,
+        shapes: "Sequence[PoolShape]",
+        placer: str = "packed",
+        seed: int = 0,
+    ) -> "Placement":
+        """Place a deployment's pool shapes onto this cluster's topology.
+
+        >>> from repro.hardware import H100
+        >>> cluster = ClusterSpec(H100, 8, "direct", group=4)
+        >>> p = cluster.placement_for([PoolShape("decode", 2, 4)])
+        >>> p.gpus("decode", 0)
+        (0, 1, 2, 3)
+        """
+        return place(self.topology(), shapes, placer=placer, seed=seed)
+
+    def hop_matrix(self):
+        """The (memoized, read-only) dense hop-count matrix of the fabric."""
+        return hop_count_matrix(self.topology())
 
     def fabric_report(self, utilization: float = 0.5) -> FabricReport:
         """Cost/power/capacity report of the cluster's network."""

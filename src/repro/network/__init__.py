@@ -37,8 +37,8 @@ from .topology import (
     SwitchedTopology,
     Topology,
 )
-from .routing import hop_count_matrix, path_between
-from .fabric import Fabric, FabricReport
+from .routing import graph_hop_count, hop_count_matrix, hop_matrix_cache_info, path_between
+from .fabric import Fabric, FabricReport, compare_fabrics
 
 __all__ = [
     "COPPER_NVLINK",
@@ -63,8 +63,11 @@ __all__ = [
     "FlatCircuitTopology",
     "SwitchedTopology",
     "Topology",
+    "graph_hop_count",
     "hop_count_matrix",
+    "hop_matrix_cache_info",
     "path_between",
     "Fabric",
     "FabricReport",
+    "compare_fabrics",
 ]

@@ -8,13 +8,18 @@ agrees with graph-based shortest paths (used as a property test).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from functools import lru_cache
+from typing import List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
 
 from ..errors import SpecError
 from .topology import Topology
+
+#: Above this size an un-bounded dense matrix is O(n^2) hop evaluations and
+#: tens of MB; callers must opt in by passing ``max_gpus`` explicitly.
+MATRIX_HARD_CAP = 4096
 
 
 def path_between(topo: Topology, a: int, b: int) -> List[Tuple[str, int]]:
@@ -37,18 +42,62 @@ def graph_hop_count(topo: Topology, a: int, b: int) -> int:
     return len(path_between(topo, a, b)) - 1
 
 
-def hop_count_matrix(topo: Topology, max_gpus: int = 64) -> np.ndarray:
-    """Dense hop-count matrix for the first ``min(n, max_gpus)`` GPUs.
+def hop_count_matrix(topo: Topology, max_gpus: Optional[int] = None) -> np.ndarray:
+    """Dense hop-count matrix over the topology's GPUs (read-only, memoized).
 
     Uses the topology's analytic hop counts (cheap); the graph-based variant
     exists as a cross-check in the test-suite.
+
+    By default the matrix covers **all** ``topo.n_gpus`` endpoints — the old
+    behaviour of silently clipping to the first 64 GPUs made large Lite-GPU
+    clusters quietly compute a truncated matrix.  Truncation is now explicit:
+    pass ``max_gpus`` to bound the matrix, and an un-bounded request beyond
+    :data:`MATRIX_HARD_CAP` raises instead of allocating a giant array.
+
+    Topologies are frozen/hashable, so results up to 1024 endpoints are
+    memoized per ``(topology, size)`` (bigger matrices are MBs each and are
+    recomputed rather than pinned); the returned array is marked read-only —
+    ``.copy()`` it before mutating.
     """
-    n = min(topo.n_gpus, max_gpus)
+    if max_gpus is None:
+        if topo.n_gpus > MATRIX_HARD_CAP:
+            raise SpecError(
+                f"hop_count_matrix over {topo.n_gpus} GPUs exceeds the "
+                f"{MATRIX_HARD_CAP}-GPU cap; pass max_gpus explicitly to truncate"
+            )
+        n = topo.n_gpus
+    else:
+        if max_gpus <= 0:
+            raise SpecError("max_gpus must be positive")
+        n = min(topo.n_gpus, max_gpus)
+    if n > _MEMO_MAX_GPUS:
+        # Above the memo bound a cached entry would pin MBs per topology for
+        # the process lifetime; compute fresh instead of caching.
+        return _build_hop_matrix(topo, n)
+    return _cached_hop_matrix(topo, n)
+
+
+#: Matrices up to this size are memoized (int64: ≤ ~8 MiB per entry).
+_MEMO_MAX_GPUS = 1024
+
+
+def _build_hop_matrix(topo: Topology, n: int) -> np.ndarray:
     mat = np.zeros((n, n), dtype=np.int64)
     for i in range(n):
-        for j in range(n):
-            mat[i, j] = topo.hop_count(i, j)
+        for j in range(i + 1, n):
+            mat[i, j] = mat[j, i] = topo.hop_count(i, j)
+    mat.setflags(write=False)
     return mat
+
+
+@lru_cache(maxsize=8)
+def _cached_hop_matrix(topo: Topology, n: int) -> np.ndarray:
+    return _build_hop_matrix(topo, n)
+
+
+def hop_matrix_cache_info():
+    """Hit/miss statistics of the hop-matrix memo (for tests/benchmarks)."""
+    return _cached_hop_matrix.cache_info()
 
 
 def verify_hop_counts(topo: Topology, samples: int = 16, seed: int = 0) -> bool:

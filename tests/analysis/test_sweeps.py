@@ -140,3 +140,38 @@ class TestCachedSweeps:
         warm = sweep_1d(functools.partial(pow, 2), [3, 4], cache=cache)
         assert cold == warm == [{"x": 3, "result": 8}, {"x": 4, "result": 16}]
         assert cache.cache_info()["hits"] == 2
+
+
+def _diff(a, b):
+    return a - b
+
+
+def _with_inner(x):
+    helper = lambda v: v * 3  # noqa: E731 - nested code object on purpose
+    return helper(x)
+
+
+class TestCacheKeyStability:
+    def test_axis_swapped_grids_do_not_collide(self, tmp_path):
+        """Regression: sorted(point.items()) erased positional order, so
+        sweep_grid(f, [1], [2]) and sweep_grid(f, [2], [1]) with swapped
+        axis names shared a key and returned the wrong cached result."""
+        from repro.exec.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        first = sweep_grid(_diff, [1], [2], x_name="p", y_name="q", cache=cache)
+        assert first[0]["result"] == -1
+        swapped = sweep_grid(_diff, [2], [1], x_name="q", y_name="p", cache=cache)
+        assert swapped[0]["result"] == 1  # f(2, 1), not the cached f(1, 2)
+
+    def test_functions_with_nested_code_have_stable_ids(self):
+        """Regression: repr(co_consts) embeds memory addresses of nested
+        code objects, defeating the cross-run on-disk cache."""
+        from repro.analysis.sweeps import _callable_id
+
+        a = _callable_id(_with_inner)
+        b = _callable_id(_with_inner)
+        assert a == b
+        # The fingerprint must not contain a '0x...' address from a repr'd
+        # nested code object.
+        assert "0x" not in a

@@ -1,0 +1,250 @@
+"""Topology co-simulation: placement-aware service times + component faults.
+
+The acceptance contract of the placement layer:
+
+- ``network_model="none"`` is invisible — reports are identical to a run
+  with no topology at all (the golden-pinned baseline);
+- ``network_model="fabric"`` makes scattered placements strictly worse than
+  packed ones on the same trace;
+- a component-level failure (link, switch, rack) resolves through the
+  placement to the right instances, and the serving report's restart
+  counters reflect the lost work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.engine import NetworkAwareServiceTimeProvider, ServiceTimeProvider
+from repro.cluster.failures import ComponentFailure, ComponentFailureModel, FailureModel
+from repro.cluster.placement import Placement, PoolShape, place
+from repro.cluster.scheduler import ColocatedPool, InstanceSpec, PhasePools
+from repro.cluster.simulator import ColocatedSimulator, ServingSimulator, SimConfig
+from repro.errors import SpecError
+from repro.hardware.gpu import H100, LITE_MEMBW, LITE_NETBW_FLOPS
+from repro.network.topology import DirectConnectTopology, SwitchedTopology
+from repro.workloads.models import LLAMA3_8B, LLAMA3_70B
+from repro.workloads.traces import TraceConfig, generate_trace
+
+TRACE = generate_trace(
+    TraceConfig(rate=4.0, duration=20.0, output_tokens=80, output_spread=0.5), seed=9
+)
+
+
+def _lite_pools() -> PhasePools:
+    return PhasePools(
+        prefill=InstanceSpec(LLAMA3_70B, LITE_NETBW_FLOPS, 8),
+        n_prefill=2,
+        decode=InstanceSpec(LLAMA3_70B, LITE_MEMBW, 8),
+        n_decode=2,
+        max_prefill_batch=4,
+        max_decode_batch=256,
+    )
+
+
+def _topo() -> DirectConnectTopology:
+    return DirectConnectTopology(n_gpus=32, group=8)
+
+
+class TestNetworkModelNone:
+    def test_none_with_topology_is_bit_identical_to_baseline(self):
+        config = SimConfig(max_sim_time=300.0)
+        baseline = ServingSimulator(_lite_pools(), config).run(TRACE)
+        with_topo = ServingSimulator(
+            _lite_pools(), config, topology=_topo(), network_model="none"
+        ).run(TRACE)
+        assert baseline == with_topo
+
+    def test_placement_still_materializes(self):
+        sim = ServingSimulator(_lite_pools(), topology=_topo())
+        assert sim.placement is not None
+        assert sim.placement.pools == ("prefill", "decode")
+        assert isinstance(sim.prefill_provider, ServiceTimeProvider)
+        assert not isinstance(sim.prefill_provider, NetworkAwareServiceTimeProvider)
+
+    def test_no_topology_means_no_placement(self):
+        sim = ServingSimulator(_lite_pools())
+        assert sim.placement is None and sim.topology is None
+
+
+class TestFabricModel:
+    def test_scattered_strictly_worse_than_packed(self):
+        config = SimConfig(max_sim_time=300.0)
+        packed = ServingSimulator(
+            _lite_pools(), config, topology=_topo(), placer="packed",
+            network_model="fabric",
+        ).run(TRACE)
+        scattered = ServingSimulator(
+            _lite_pools(), config, topology=_topo(), placer="scattered",
+            network_model="fabric",
+        ).run(TRACE)
+        assert scattered.tbt_mean > packed.tbt_mean
+        assert scattered.e2e_p50 > packed.e2e_p50
+        assert scattered.output_tokens_per_s < packed.output_tokens_per_s
+
+    def test_fabric_is_slower_than_none(self):
+        config = SimConfig(max_sim_time=300.0)
+        none = ServingSimulator(_lite_pools(), config, topology=_topo()).run(TRACE)
+        fabric = ServingSimulator(
+            _lite_pools(), config, topology=_topo(), network_model="fabric"
+        ).run(TRACE)
+        assert fabric.tbt_mean > none.tbt_mean
+
+    def test_single_gpu_instances_pay_nothing(self):
+        pool = ColocatedPool(
+            instance=InstanceSpec(LLAMA3_8B, H100, 1), n_instances=2, max_decode_batch=64
+        )
+        topo = SwitchedTopology(n_gpus=2)
+        config = SimConfig(max_sim_time=120.0)
+        base = ColocatedSimulator(pool, config).run(TRACE)
+        fabric = ColocatedSimulator(
+            pool, config, topology=topo, network_model="fabric"
+        ).run(TRACE)
+        assert base == fabric  # world-1 groups issue no collectives
+
+    def test_provider_fabric_info(self):
+        sim = ServingSimulator(
+            _lite_pools(), topology=_topo(), placer="scattered", network_model="fabric"
+        )
+        info = sim.decode_provider.fabric_info()
+        assert len(info) == 2
+        assert all(entry["world"] == 8 for entry in info)
+        assert all(entry["max_hops"] >= 2 for entry in info)
+        assert all(entry["contention"] >= 1.0 for entry in info)
+
+    def test_explicit_placement_accepted(self):
+        topo = _topo()
+        placement = place(
+            topo,
+            [PoolShape("prefill", 2, 8), PoolShape("decode", 2, 8)],
+            placer="greedy",
+        )
+        sim = ServingSimulator(
+            _lite_pools(), topology=topo, placer=placement, network_model="fabric"
+        )
+        assert sim.placement is placement
+        report = sim.run(TRACE)
+        assert report.completed == len(TRACE)
+
+
+class TestValidation:
+    def test_unknown_network_model(self):
+        with pytest.raises(SpecError):
+            ServingSimulator(_lite_pools(), topology=_topo(), network_model="quantum")
+
+    def test_fabric_requires_topology(self):
+        with pytest.raises(SpecError):
+            ServingSimulator(_lite_pools(), network_model="fabric")
+
+    def test_component_failures_require_topology(self):
+        with pytest.raises(SpecError):
+            ServingSimulator(
+                _lite_pools(),
+                component_failures=[ComponentFailure(1.0, "gpu", 0, 10.0)],
+            )
+
+    def test_placement_must_match_deployment(self):
+        topo = _topo()
+        wrong = Placement(32, (("prefill", ((0, 1),)), ("decode", ((2, 3),))))
+        with pytest.raises(SpecError):
+            ServingSimulator(_lite_pools(), topology=topo, placer=wrong)
+
+    def test_placement_must_match_topology_size(self):
+        placement = place(
+            DirectConnectTopology(n_gpus=64, group=8),
+            [PoolShape("prefill", 2, 8), PoolShape("decode", 2, 8)],
+        )
+        with pytest.raises(SpecError):
+            ServingSimulator(_lite_pools(), topology=_topo(), placer=placement)
+
+    def test_cluster_too_small_for_deployment(self):
+        with pytest.raises(SpecError):
+            ServingSimulator(
+                _lite_pools(), topology=DirectConnectTopology(n_gpus=16, group=8)
+            )
+
+
+class TestComponentFailuresEndToEnd:
+    def test_rack_failure_downs_decode_instance_and_restarts_requests(self):
+        """A rack power event on decode GPUs must surface as restarts."""
+        config = SimConfig(max_sim_time=300.0)
+        # Packed placement: prefill on GPUs 0..15, decode on 16..31.
+        # Rack 2 (GPUs 16..23) is decode instance 0.
+        event = ComponentFailure(2.0, "rack", 2, 60.0)
+        sim = ServingSimulator(
+            _lite_pools(), config, topology=_topo(), component_failures=[event]
+        )
+        assert (2.0, "decode", 0, 60.0) in sim.failures
+        assert all(pool != "prefill" for _, pool, _, _ in sim.failures)
+        report = sim.run(TRACE)
+        assert report.requeued_on_failure > 0
+        assert report.restarted_requests > 0
+
+    def test_switch_failure_blast_radius_hits_all_instances(self):
+        """The direct topology's hub touches one GPU per group: every
+        instance of both pools goes down at the event time."""
+        event = ComponentFailure(8.0, "switch", 0, 30.0)
+        sim = ServingSimulator(
+            _lite_pools(), topology=_topo(), component_failures=[event]
+        )
+        assert sorted(sim.failures) == [
+            (8.0, "decode", 0, 30.0),
+            (8.0, "decode", 1, 30.0),
+            (8.0, "prefill", 0, 30.0),
+            (8.0, "prefill", 1, 30.0),
+        ]
+
+    def test_link_failure_scripted_equivalence(self):
+        """A mesh-link event is exactly an instance-level outage of the one
+        instance whose group owns the link — reports must match."""
+        topo = _topo()
+        config = SimConfig(max_sim_time=300.0)
+        from repro.cluster.failures import link_inventory
+
+        links = link_inventory(topo)
+        # A mesh link inside group 3 (GPUs 24..31) = decode instance 1.
+        mesh = next(
+            i for i, e in enumerate(links)
+            if e[0][0] == "gpu" and e[1][0] == "gpu" and 24 <= e[0][1] <= 31
+        )
+        via_component = ServingSimulator(
+            _lite_pools(), config, topology=topo,
+            component_failures=[ComponentFailure(10.0, "link", mesh, 45.0)],
+        ).run(TRACE)
+        via_instance = ServingSimulator(
+            _lite_pools(), config, failures=[(10.0, "decode", 1, 45.0)]
+        ).run(TRACE)
+        assert via_component == via_instance
+
+    def test_component_model_sampling_is_deterministic_and_placement_seeded(self):
+        config = SimConfig(max_sim_time=600.0)
+        model = ComponentFailureModel(
+            link=FailureModel(mtbf=150.0, mttr=20.0),
+            switch=FailureModel(mtbf=300.0, mttr=30.0),
+        )
+        a = ServingSimulator(
+            _lite_pools(), config, topology=_topo(), component_model=model
+        )
+        b = ServingSimulator(
+            _lite_pools(), config, topology=_topo(), component_model=model
+        )
+        assert a.failures == b.failures
+        # A different placement draws a different (derived-seed) schedule.
+        c = ServingSimulator(
+            _lite_pools(), config, topology=_topo(), component_model=model,
+            placer="scattered",
+        )
+        assert a.failures != c.failures
+
+    def test_colocated_component_failures(self):
+        pool = ColocatedPool(
+            instance=InstanceSpec(LLAMA3_8B, H100, 1), n_instances=4, max_decode_batch=64
+        )
+        topo = SwitchedTopology(n_gpus=4)
+        sim = ColocatedSimulator(
+            pool, SimConfig(max_sim_time=300.0), topology=topo,
+            component_failures=[ComponentFailure(3.0, "gpu", 2, 25.0)],
+        )
+        assert sim.failures == [(3.0, "colocated", 2, 25.0)]
+        report = sim.run(TRACE)
+        assert report.completed == len(TRACE)

@@ -1,0 +1,144 @@
+"""Placement layer: placers, validation, blast-radius resolution."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.placement import (
+    PLACERS,
+    Placement,
+    PoolShape,
+    get_placer,
+    place,
+    placement_hop_stats,
+)
+from repro.errors import SpecError
+from repro.network.topology import (
+    DirectConnectTopology,
+    FlatCircuitTopology,
+    SwitchedTopology,
+)
+
+
+def _topo(n: int):
+    return FlatCircuitTopology(n_gpus=n)
+
+
+class TestPlacementDataclass:
+    def test_lookups(self):
+        p = Placement(8, (("prefill", ((0, 1),)), ("decode", ((2, 3), (4, 5)))))
+        assert p.pools == ("prefill", "decode")
+        assert p.gpus("decode", 1) == (4, 5)
+        assert p.total_gpus_used == 6
+
+    def test_rejects_overlap(self):
+        with pytest.raises(SpecError):
+            Placement(8, (("a", ((0, 1),)), ("b", ((1, 2),))))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SpecError):
+            Placement(4, (("a", ((0, 7),)),))
+
+    def test_rejects_unknown_pool(self):
+        p = Placement(4, (("a", ((0, 1),)),))
+        with pytest.raises(SpecError):
+            p.groups("missing")
+        with pytest.raises(SpecError):
+            p.gpus("a", 5)
+
+    def test_affected_instances(self):
+        p = Placement(8, (("prefill", ((0, 1),)), ("decode", ((2, 3), (4, 5)))))
+        assert p.affected_instances([3]) == (("decode", 0),)
+        assert p.affected_instances([0, 4]) == (("prefill", 0), ("decode", 1))
+        assert p.affected_instances([6, 7]) == ()
+
+    def test_hashable_for_cache_keys(self):
+        p = Placement(8, (("decode", ((0, 1),)),))
+        assert hash(p) == hash(Placement(8, (("decode", ((0, 1),)),)))
+
+
+class TestPlacers:
+    SHAPES = [PoolShape("prefill", 2, 4), PoolShape("decode", 2, 4)]
+
+    def test_packed_is_contiguous(self):
+        p = place(_topo(16), self.SHAPES, placer="packed")
+        assert p.gpus("prefill", 0) == (0, 1, 2, 3)
+        assert p.gpus("decode", 1) == (12, 13, 14, 15)
+
+    def test_scattered_is_strided(self):
+        p = place(_topo(16), self.SHAPES, placer="scattered")
+        # 4 instances total: instance j holds j, j+4, j+8, j+12.
+        assert p.gpus("prefill", 0) == (0, 4, 8, 12)
+        assert p.gpus("decode", 1) == (3, 7, 11, 15)
+
+    def test_scattered_needs_room(self):
+        with pytest.raises(SpecError):
+            place(_topo(17), [PoolShape("a", 3, 5), PoolShape("b", 1, 2)], "scattered")
+
+    def test_random_is_seed_deterministic(self):
+        a = place(_topo(16), self.SHAPES, placer="random", seed=3)
+        b = place(_topo(16), self.SHAPES, placer="random", seed=3)
+        c = place(_topo(16), self.SHAPES, placer="random", seed=4)
+        assert a == b
+        assert a != c
+
+    def test_greedy_minimizes_hops_on_direct(self):
+        topo = DirectConnectTopology(n_gpus=16, group=4)
+        greedy = place(topo, self.SHAPES, placer="greedy")
+        scattered = place(topo, self.SHAPES, placer="scattered")
+        g = placement_hop_stats(topo, greedy)
+        s = placement_hop_stats(topo, scattered)
+        assert g["mean_hops"] < s["mean_hops"]
+        # Greedy keeps each TP group inside one mesh group: all 1-hop pairs.
+        assert g["max_hops"] == 1.0
+
+    def test_capacity_check(self):
+        with pytest.raises(SpecError):
+            place(_topo(4), self.SHAPES, placer="packed")
+
+    def test_unknown_placer(self):
+        with pytest.raises(SpecError):
+            get_placer("nope")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    placer=st.sampled_from(sorted(PLACERS)),
+    n_instances=st.integers(1, 4),
+    width=st.integers(1, 4),
+    spare=st.integers(0, 9),
+    seed=st.integers(0, 5),
+)
+def test_every_placer_returns_disjoint_in_range_groups(placer, n_instances, width, spare, seed):
+    """Satellite property: disjoint, in-range GPU sets from every placer."""
+    if placer == "scattered":
+        n_gpus = n_instances * width + spare  # stride needs uniform room
+    else:
+        n_gpus = n_instances * width + spare
+    topo = _topo(max(1, n_gpus))
+    shapes = [PoolShape("pool", n_instances, width)]
+    placement = place(topo, shapes, placer=placer, seed=seed)
+    seen = set()
+    for index in range(n_instances):
+        group = placement.gpus("pool", index)
+        assert len(group) == width
+        for gpu in group:
+            assert 0 <= gpu < topo.n_gpus
+            assert gpu not in seen
+            seen.add(gpu)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    placer=st.sampled_from(sorted(PLACERS)),
+    seed=st.integers(0, 3),
+)
+def test_placers_handle_multi_pool_shapes(placer, seed):
+    topo = SwitchedTopology(n_gpus=24)
+    shapes = [PoolShape("prefill", 2, 3), PoolShape("decode", 3, 4)]
+    placement = place(topo, shapes, placer=placer, seed=seed)
+    all_gpus = [g for pool in placement.pools for grp in placement.groups(pool) for g in grp]
+    assert len(all_gpus) == len(set(all_gpus)) == 18
+    assert all(0 <= g < 24 for g in all_gpus)

@@ -78,3 +78,43 @@ class TestResultCache:
         record = json.loads(next(tmp_path.glob("*/*.json")).read_text())
         assert record["salt"] == "s"
         assert record["payload"] == {"type": "json", "data": [1, 2]}
+
+
+class TestTopologyKeySeparation:
+    """Regression: topology sweeps must never collide with cached
+    non-network runs — the key and derived seed both hash the topology and
+    placement spec."""
+
+    def test_keys_differ_when_only_topology_differs(self, tmp_path):
+        from repro.cluster.placement import PoolShape, place
+        from repro.network.topology import DirectConnectTopology
+
+        cache = ResultCache(tmp_path)
+        base_point = ("colocated", "Llama3-8B", 1, 2.0)
+        legacy = cache.key("cli-sweep", base_point + ("none", 0, 4, "packed", "none"))
+        topo = DirectConnectTopology(n_gpus=8, group=4)
+        placed = place(topo, [PoolShape("colocated", 2, 4)])
+        networked = cache.key(
+            "cli-sweep", base_point + ("direct", 8, 4, "packed", "fabric"), placed
+        )
+        assert legacy != networked
+        cache.put(legacy, {"tok_s": 1.0})
+        assert cache.get(networked) is MISS
+
+    def test_derive_seed_incorporates_topology_and_placement(self):
+        from repro.cluster.placement import PoolShape, place
+        from repro.exec.seeding import derive_seed
+        from repro.network.topology import DirectConnectTopology, SwitchedTopology
+
+        direct = DirectConnectTopology(n_gpus=8, group=4)
+        switched = SwitchedTopology(n_gpus=8)
+        shapes = [PoolShape("colocated", 2, 4)]
+        packed = place(direct, shapes, placer="packed")
+        scattered = place(direct, shapes, placer="scattered")
+        bare = derive_seed(7, "components")
+        with_packed = derive_seed(7, "components", direct, packed)
+        with_scattered = derive_seed(7, "components", direct, scattered)
+        other_fabric = derive_seed(7, "components", switched, packed)
+        assert len({bare, with_packed, with_scattered, other_fabric}) == 4
+        # Deterministic: the same spec always derives the same seed.
+        assert with_packed == derive_seed(7, "components", direct, packed)

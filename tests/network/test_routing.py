@@ -4,12 +4,16 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import SpecError
 from repro.network.routing import (
+    MATRIX_HARD_CAP,
     diameter,
     graph_hop_count,
     hop_count_matrix,
+    hop_matrix_cache_info,
     path_between,
     verify_hop_counts,
 )
@@ -60,6 +64,64 @@ class TestMatrix:
         topo = FlatCircuitTopology(n_gpus=128)
         mat = hop_count_matrix(topo, max_gpus=8)
         assert mat.shape == (8, 8)
+
+    def test_default_covers_all_gpus(self):
+        """The old silent 64-GPU clip is gone: defaults span the cluster."""
+        topo = FlatCircuitTopology(n_gpus=128)
+        assert hop_count_matrix(topo).shape == (128, 128)
+
+    def test_oversize_without_explicit_bound_raises(self):
+        topo = FlatCircuitTopology(n_gpus=MATRIX_HARD_CAP + 1)
+        with pytest.raises(SpecError):
+            hop_count_matrix(topo)
+        assert hop_count_matrix(topo, max_gpus=4).shape == (4, 4)
+
+    def test_bad_max_gpus(self):
+        with pytest.raises(SpecError):
+            hop_count_matrix(FlatCircuitTopology(n_gpus=8), max_gpus=0)
+
+    def test_matrix_is_memoized_and_read_only(self):
+        topo = SwitchedTopology(n_gpus=48)
+        before = hop_matrix_cache_info().hits
+        first = hop_count_matrix(topo)
+        again = hop_count_matrix(topo)
+        assert again is first  # same cached object
+        assert hop_matrix_cache_info().hits > before
+        with pytest.raises(ValueError):
+            again[0, 1] = 99
+
+
+class TestPathHopProperty:
+    """Satellite property: path_between length == analytic hop_count."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_direct_connect(self, data):
+        groups = data.draw(st.integers(2, 6))
+        group = data.draw(st.integers(2, 4))
+        topo = DirectConnectTopology(n_gpus=groups * group, group=group)
+        a = data.draw(st.integers(0, topo.n_gpus - 1))
+        b = data.draw(st.integers(0, topo.n_gpus - 1))
+        assert len(path_between(topo, a, b)) - 1 == topo.hop_count(a, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_switched(self, data):
+        n = data.draw(st.integers(2, 160))  # spans flat and leaf-spine modes
+        topo = SwitchedTopology(n_gpus=n)
+        a = data.draw(st.integers(0, n - 1))
+        b = data.draw(st.integers(0, n - 1))
+        assert len(path_between(topo, a, b)) - 1 == topo.hop_count(a, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_flat_circuit(self, data):
+        n = data.draw(st.integers(2, 128))  # one OCS per plane at this scale
+        planes = data.draw(st.integers(1, 2))
+        topo = FlatCircuitTopology(n_gpus=n, planes=planes)
+        a = data.draw(st.integers(0, n - 1))
+        b = data.draw(st.integers(0, n - 1))
+        assert len(path_between(topo, a, b)) - 1 == topo.hop_count(a, b)
 
 
 class TestDiameter:

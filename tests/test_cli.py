@@ -15,7 +15,7 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in ("table1", "fig1", "fig2", "fig3a", "fig3b", "report",
-                        "search", "tco", "simulate", "sweep"):
+                        "search", "tco", "simulate", "sweep", "topology"):
             args = parser.parse_args([command])
             assert callable(args.fn)
 
@@ -132,3 +132,72 @@ class TestSweepCommand:
         captured = capsys.readouterr()
         assert "ERROR" in captured.out  # the per-point error line
         assert "no sweep point completed successfully" in captured.err
+
+
+class TestTopologyCommand:
+    def test_prints_three_fabrics(self, capsys):
+        assert main(["topology", "--gpus", "32", "--group", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fabric comparison: 32 GPUs, group 4" in out
+        for name in ("direct-connect", "packet-switched", "flat-circuit"):
+            assert name in out
+
+    def test_group_must_divide_gpus(self, capsys):
+        assert main(["topology", "--gpus", "30", "--group", "4"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTopologyAwareSimulate:
+    def _argv(self, *extra):
+        return [
+            "simulate", "--model", "Llama3-8B", "--gpus-per-instance", "1",
+            "--n-prefill", "1", "--n-decode", "1", "--duration", "4",
+            "--max-sim-time", "120", *extra,
+        ]
+
+    def test_simulate_with_fabric_model(self, capsys):
+        assert main(self._argv(
+            "--topology", "switched", "--network-model", "fabric",
+            "--placer", "packed",
+        )) == 0
+        out = capsys.readouterr().out
+        assert "topology switched" in out and "network model 'fabric'" in out
+        assert "intra-instance hops" in out
+
+    def test_simulate_topology_none_prints_no_placement(self, capsys):
+        assert main(self._argv()) == 0
+        assert "topology" not in capsys.readouterr().out.splitlines()[-1]
+
+    def test_fabric_without_topology_is_an_error(self, capsys):
+        assert main(self._argv("--network-model", "fabric")) == 2
+        assert "topology is required" in capsys.readouterr().err
+
+    def test_placement_flags_without_topology_are_an_error(self, capsys):
+        assert main(self._argv("--placer", "scattered")) == 2
+        assert "no effect without --topology" in capsys.readouterr().err
+
+
+class TestSweepTopologyCacheSeparation:
+    """Regression: a topology sweep must not reuse non-network cached points."""
+
+    def _argv(self, tmp_path, *extra):
+        return [
+            "sweep", "--model", "Llama3-8B", "--gpu", "H100",
+            "--rates", "2", "--sizes", "2", "--duration", "4",
+            "--cache-dir", str(tmp_path / "cache"), *extra,
+        ]
+
+    def test_topology_points_miss_the_legacy_cache(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path)) == 0
+        first = capsys.readouterr().out
+        assert "1 stored" in first
+        assert main(self._argv(
+            tmp_path, "--topology", "circuit", "--network-model", "fabric",
+        )) == 0
+        second = capsys.readouterr().out
+        assert "0 hits" in second and "[cached]" not in second
+        # And the topology point caches under its own key.
+        assert main(self._argv(
+            tmp_path, "--topology", "circuit", "--network-model", "fabric",
+        )) == 0
+        assert "1 hits" in capsys.readouterr().out

@@ -13,6 +13,8 @@ Run:  python examples/colocated_serving.py
 
 from __future__ import annotations
 
+import os
+
 from repro.analysis.report import simulation_table
 from repro.cluster.policies import POLICY_BUNDLES
 from repro.cluster.scheduler import ColocatedPool, InstanceSpec, PhasePools
@@ -21,13 +23,15 @@ from repro.hardware.gpu import LITE_MEMBW, LITE_NETBW_FLOPS
 from repro.workloads.models import LLAMA3_70B
 from repro.workloads.traces import TraceConfig, generate_trace, merge_traces
 
+TINY = os.environ.get("REPRO_EXAMPLE_TINY") == "1"  # CI smoke mode: tiny traces
+
 
 def multi_tenant_trace() -> list:
     chat = generate_trace(
-        TraceConfig(rate=4.0, duration=60.0, prompt_tokens=500, output_tokens=200), seed=7
+        TraceConfig(rate=4.0, duration=8.0 if TINY else 60.0, prompt_tokens=500, output_tokens=200), seed=7
     )
     summarize = generate_trace(
-        TraceConfig(rate=2.0, duration=60.0, prompt_tokens=3000, output_tokens=80), seed=8
+        TraceConfig(rate=2.0, duration=8.0 if TINY else 60.0, prompt_tokens=3000, output_tokens=80), seed=8
     )
     return merge_traces(chat, summarize)
 

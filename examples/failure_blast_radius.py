@@ -14,6 +14,8 @@ Run:  python examples/failure_blast_radius.py
 
 from __future__ import annotations
 
+import os
+
 from repro.analysis.tables import format_table
 from repro.cluster.availability import SparePolicy, simulate_availability
 from repro.cluster.failures import (
@@ -24,7 +26,8 @@ from repro.cluster.failures import (
 )
 from repro.units import DAY, HOUR
 
-HORIZON = 90 * DAY
+TINY = os.environ.get("REPRO_EXAMPLE_TINY") == "1"  # CI smoke mode: short horizon
+HORIZON = (7 if TINY else 90) * DAY
 GPU_MODEL = FailureModel(mtbf=400 * HOUR, mttr=24 * HOUR)  # aggressive regime
 LITE_MODEL = scaled_lite_failure_model(GPU_MODEL, 4)  # area-scaled reliability
 

@@ -14,6 +14,8 @@ Run with ``PYTHONPATH=src python examples/parallel_sweep.py``.
 
 from __future__ import annotations
 
+import os
+
 from repro.analysis.report import simulation_table
 from repro.analysis.sweeps import argbest, sweep_grid
 from repro.cluster.failures import FailureModel
@@ -25,6 +27,9 @@ from repro.workloads.models import LLAMA3_8B
 from repro.workloads.traces import TraceConfig, generate_trace
 
 WORKERS = 4
+TINY = os.environ.get("REPRO_EXAMPLE_TINY") == "1"  # CI smoke mode: tiny sweep
+DURATION = 6.0 if TINY else 20.0
+REPLICAS = 3 if TINY else 8
 
 
 def sweep_point(rate: float, n_instances: int):
@@ -35,7 +40,7 @@ def sweep_point(rate: float, n_instances: int):
         max_decode_batch=64,
     )
     trace = generate_trace(
-        TraceConfig(rate=rate, duration=20.0, output_tokens=80, output_spread=0.5), seed=0
+        TraceConfig(rate=rate, duration=DURATION, output_tokens=80, output_spread=0.5), seed=0
     )
     return ColocatedSimulator(pool, SimConfig(max_sim_time=300.0)).run(trace)
 
@@ -66,10 +71,10 @@ def main() -> None:
         SimConfig(max_sim_time=300.0),
         failure_model=FailureModel(mtbf=30.0, mttr=10.0),
         base_seed=0,
-        n_replicas=8,
+        n_replicas=REPLICAS,
     )
     trace = generate_trace(
-        TraceConfig(rate=4.0, duration=20.0, output_tokens=80, output_spread=0.5), seed=0
+        TraceConfig(rate=4.0, duration=DURATION, output_tokens=80, output_spread=0.5), seed=0
     )
     print(ensemble.run(trace, workers=WORKERS).describe())
 

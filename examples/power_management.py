@@ -17,6 +17,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.tables import format_table
+import os
+
 from repro.cluster.power_manager import ClusterPowerManager
 from repro.hardware.cooling import CoolingKind, CoolingModel
 from repro.hardware.gpu import H100, LITE
@@ -25,7 +27,8 @@ from repro.units import KILOWATT
 
 
 def main() -> None:
-    loads = diurnal_load_profile(samples=96, low=0.2, high=0.9, seed=1, noise=0.02)
+    tiny = os.environ.get("REPRO_EXAMPLE_TINY") == "1"  # CI smoke mode
+    loads = diurnal_load_profile(samples=24 if tiny else 96, low=0.2, high=0.9, seed=1, noise=0.02)
     interval = 900.0  # 15-minute samples
     print(
         f"diurnal profile: min {loads.min():.2f}, mean {loads.mean():.2f}, "

@@ -16,12 +16,18 @@ Run:  python examples/splitwise_serving.py
 
 from __future__ import annotations
 
+import os
+
 from repro.analysis.report import simulation_table
 from repro.cluster.scheduler import InstanceSpec, PhasePools
 from repro.cluster.simulator import ServingSimulator, SimConfig
 from repro.hardware.gpu import H100, LITE, LITE_MEMBW, LITE_NETBW_FLOPS
 from repro.workloads.models import LLAMA3_70B
 from repro.workloads.traces import TraceConfig, generate_trace
+
+# CI smoke mode (tests/test_examples.py sets REPRO_EXAMPLE_TINY=1): shrink
+# the trace so the example finishes in a couple of seconds.
+TINY = os.environ.get("REPRO_EXAMPLE_TINY") == "1"
 
 
 def deployment(prefill_gpu, decode_gpu, gpus_per_instance) -> PhasePools:
@@ -37,7 +43,7 @@ def deployment(prefill_gpu, decode_gpu, gpus_per_instance) -> PhasePools:
 
 def main() -> None:
     trace = generate_trace(
-        TraceConfig(rate=6.0, duration=60.0, output_tokens=150, output_spread=0.5),
+        TraceConfig(rate=6.0, duration=8.0 if TINY else 60.0, output_tokens=150, output_spread=0.5),
         seed=42,
     )
     print(f"trace: {len(trace)} requests, 1500-token prompts, ~150-token outputs\n")

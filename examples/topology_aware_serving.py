@@ -19,6 +19,8 @@ Run:  python examples/topology_aware_serving.py
 
 from __future__ import annotations
 
+import os
+
 from repro.analysis.report import simulation_table
 from repro.cluster.failures import ComponentFailure, affected_gpus
 from repro.cluster.placement import PLACERS, placement_hop_stats
@@ -28,6 +30,8 @@ from repro.hardware.gpu import LITE_MEMBW, LITE_NETBW_FLOPS
 from repro.network.topology import DirectConnectTopology
 from repro.workloads.models import LLAMA3_70B
 from repro.workloads.traces import TraceConfig, generate_trace
+
+TINY = os.environ.get("REPRO_EXAMPLE_TINY") == "1"  # CI smoke mode: tiny trace
 
 
 def deployment() -> PhasePools:
@@ -43,7 +47,7 @@ def deployment() -> PhasePools:
 
 def main() -> None:
     trace = generate_trace(
-        TraceConfig(rate=6.0, duration=40.0, output_tokens=150, output_spread=0.5),
+        TraceConfig(rate=6.0, duration=8.0 if TINY else 40.0, output_tokens=150, output_spread=0.5),
         seed=13,
     )
     topology = DirectConnectTopology(n_gpus=32, group=8)

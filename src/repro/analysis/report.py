@@ -12,7 +12,7 @@ from typing import Dict, List
 from ..cluster.simulator import SimReport
 from ..core.roofline import RooflinePolicy
 from ..hardware.evolution import evolution_trends
-from ..hardware.yieldmodel import YieldModel, yield_gain
+from ..hardware.yieldmodel import yield_gain
 from ..hardware.cost import CostModel
 from ..network.switches import circuit_vs_packet_energy_gain
 from .figures import fig1_evolution_series, fig2_deployment_comparison, fig3a_prefill_series, fig3b_decode_series
@@ -23,26 +23,32 @@ def simulation_table(reports: Dict[str, SimReport], title: str = "Serving simula
     """Render one row per named :class:`SimReport` (CLI / example output).
 
     The shared format for comparing deployments or policy bundles: SLO
-    metrics (TTFT, TBT), throughput, and the failure-recovery counters.
+    metrics (TTFT, TBT), throughput, the failure-recovery counters, and —
+    when any report carries cost accounting — the $/Mtoken unit economics.
     """
+    with_cost = any(r.usd_cost > 0 for r in reports.values())
     rows = []
     for name, report in reports.items():
-        rows.append(
-            [
-                name,
-                report.completed,
-                f"{report.ttft_p50 * 1e3:.0f}/{report.ttft_p99 * 1e3:.0f}",
-                f"{report.tbt_mean * 1e3:.1f}",
-                f"{report.e2e_p50:.2f}",
-                f"{report.output_tokens_per_s:.0f}",
-                report.requeued_on_failure,
-                report.restarted_requests,
-            ]
-        )
+        row = [
+            name,
+            report.completed,
+            f"{report.ttft_p50 * 1e3:.0f}/{report.ttft_p99 * 1e3:.0f}",
+            f"{report.tbt_mean * 1e3:.1f}",
+            f"{report.e2e_p50:.2f}",
+            f"{report.output_tokens_per_s:.0f}",
+            report.requeued_on_failure,
+            report.restarted_requests,
+        ]
+        if with_cost:
+            row.append(f"{report.gpu_seconds:.0f}")
+            row.append(f"{report.usd_per_mtoken:.2f}")
+        rows.append(row)
     headers = [
         "deployment", "done", "TTFT p50/p99 ms", "TBT ms", "e2e p50 s",
         "out tok/s", "requeued", "restarted",
     ]
+    if with_cost:
+        headers += ["gpu-s", "$/Mtok"]
     return format_table(headers, rows, title=title)
 
 

@@ -13,11 +13,14 @@ Usage::
         --placer scattered                       # topology-aware serving
     python -m repro sweep --rates 2,4,6 --sizes 1,2 --workers 4
     python -m repro topology --gpus 128 --group 4  # fabric comparison table
+    python -m repro autoscale --controllers static,reactive,slo \
+        --rates 1,8,1 --segment 60               # static-vs-elastic economics
+    python -m repro cache stats | clear          # on-disk result cache
 
 All subcommands print plain text and touch neither the network nor disk —
 except ``sweep``, which (unless ``--no-cache``) persists finished points
 under ``--cache-dir`` (default ``.repro_cache/``) so repeat invocations
-skip completed work.
+skip completed work, and ``cache``, which inspects/clears that directory.
 """
 
 from __future__ import annotations
@@ -34,9 +37,18 @@ from .analysis.figures import (
 )
 from .analysis.report import experiment_report, simulation_table
 from .analysis.tables import format_table, render_fig3_panel, render_table1
+from .cluster.control import (
+    CONTROLLERS,
+    ForecastController,
+    PowerCapController,
+    ReactiveController,
+    SLOController,
+    StaticController,
+)
 from .cluster.failures import FailureModel
 from .cluster.placement import PLACERS, placement_hop_stats
 from .cluster.policies import POLICY_BUNDLES
+from .cluster.power_manager import ClusterPowerManager
 from .cluster.scheduler import ColocatedPool, InstanceSpec, PhasePools
 from .cluster.simulator import ColocatedSimulator, ServingSimulator, SimConfig
 from .cluster.spec import ClusterSpec
@@ -46,7 +58,7 @@ from .errors import LiteGPUError, SimulationError
 from .exec.cache import ResultCache
 from .exec.runner import Job, run_many
 from .hardware.gpu import H100, get_gpu
-from .hardware.tco import cluster_tco, tokens_per_dollar_comparison
+from .hardware.tco import tokens_per_dollar_comparison
 from .network.fabric import compare_fabrics
 from .network.topology import (
     DirectConnectTopology,
@@ -56,7 +68,12 @@ from .network.topology import (
 )
 from .units import GB_PER_S, HOUR, KILOWATT
 from .workloads.models import get_model
-from .workloads.traces import TraceConfig, generate_trace, trace_fingerprint
+from .workloads.traces import (
+    TraceConfig,
+    generate_piecewise_trace,
+    generate_trace,
+    trace_fingerprint,
+)
 
 
 def _csv_floats(text: str) -> List[float]:
@@ -389,6 +406,117 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         print("cache: disabled")
 
 
+def _build_controller(name: str, args: argparse.Namespace, deployment):
+    """Materialize a named controller from the autoscale CLI knobs."""
+    bounds = dict(
+        epoch=args.epoch,
+        warmup_s=args.warmup,
+        min_instances=args.min_instances,
+        max_instances=args.max_instances,
+    )
+    key = name.strip().lower().replace("-", "_")
+    if key == "static":
+        return StaticController()
+    if key == "reactive":
+        return ReactiveController(queue_high=args.queue_high, **bounds)
+    if key == "slo":
+        return SLOController(ttft_target=args.slo_ttft, tbt_target=args.slo_tbt, **bounds)
+    if key == "forecast":
+        profile = [
+            (i * args.segment, rate / args.rates[0]) for i, rate in enumerate(args.rates)
+        ]
+        return ForecastController(profile=profile, **bounds)
+    if key == "power_cap":
+        if args.cap is None:
+            raise SimulationError("power_cap needs --cap start:end:watts")
+        try:
+            start, end, watts = (float(p) for p in args.cap.split(":"))
+        except ValueError as exc:
+            raise SimulationError(
+                f"--cap must be start:end:watts (three numbers), got {args.cap!r}"
+            ) from exc
+        manager = ClusterPowerManager(
+            deployment.decode.gpu, deployment.total_gpus
+        )
+        return PowerCapController(manager=manager, caps=[(start, end, watts)], **bounds)
+    raise SimulationError(
+        f"unknown controller '{name}' (have {', '.join(CONTROLLERS.names())})"
+    )
+
+
+def _cmd_autoscale(args: argparse.Namespace) -> None:
+    if len(args.rates) < 2:
+        raise SimulationError("--rates needs at least two segments to be bursty")
+    model = get_model(args.model)
+    base = TraceConfig(output_tokens=args.output_tokens, output_spread=args.output_spread)
+    trace = generate_piecewise_trace(
+        [(rate, args.segment) for rate in args.rates], base, seed=args.seed
+    )
+    deployment = PhasePools(
+        prefill=InstanceSpec(model, get_gpu(args.prefill_gpu), args.gpus_per_instance),
+        n_prefill=args.n_prefill,
+        decode=InstanceSpec(model, get_gpu(args.decode_gpu), args.gpus_per_instance),
+        n_decode=args.n_decode,
+        max_prefill_batch=args.max_prefill_batch,
+        max_decode_batch=args.max_decode_batch,
+    )
+    config = SimConfig(max_sim_time=args.max_sim_time)
+    print(
+        f"{deployment.describe()}\n"
+        f"bursty trace: {len(trace)} requests, rates "
+        f"{'/'.join(f'{r:g}' for r in args.rates)} req/s x {args.segment:g}s segments"
+    )
+    reports = {}
+    records = []
+    for name in args.controllers:
+        controller = _build_controller(name, args, deployment)
+        simulator = ServingSimulator(
+            deployment, config, policies=args.policy, controller=controller
+        )
+        report = simulator.run(trace)
+        label = name
+        if report.spawned_instances or report.retired_instances:
+            label += f" (+{report.spawned_instances}/-{report.retired_instances})"
+        reports[label] = report
+        records.append({"controller": name, "result": report})
+    print(simulation_table(reports, title="Static vs elastic provisioning"))
+    meeting_slo = [
+        r for r in records
+        if r["result"].completed > 0 and r["result"].ttft_p99 <= args.slo_ttft
+    ]
+    if meeting_slo:
+        best = argbest(
+            meeting_slo, key=lambda r: r["result"].usd_per_mtoken, maximize=False
+        )
+        print(
+            f"cheapest at P99-TTFT <= {args.slo_ttft:g}s: '{best['controller']}' "
+            f"(${best['result'].usd_per_mtoken:.2f}/Mtok, "
+            f"{best['result'].gpu_seconds:.0f} gpu-s)"
+        )
+    else:
+        print(f"no controller met the P99-TTFT <= {args.slo_ttft:g}s SLO")
+
+
+def _cmd_cache(args: argparse.Namespace) -> None:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} record(s) from {cache.root}")
+        return
+    entries = cache.entries()
+    size = cache.size_bytes()
+    if size >= 1 << 20:
+        human = f"{size / (1 << 20):.1f} MiB"
+    elif size >= 1 << 10:
+        human = f"{size / (1 << 10):.1f} KiB"
+    else:
+        human = f"{size} B"
+    print(
+        f"cache {cache.root}: {entries} record(s), {human} on disk "
+        f"(salt '{cache.salt}')"
+    )
+
+
 def _add_topology_args(parser: argparse.ArgumentParser) -> None:
     """The shared topology co-simulation flags (simulate + sweep)."""
     parser.add_argument("--topology", default="none",
@@ -508,6 +636,56 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-cache", action="store_true",
                        help="disable the on-disk result cache")
     sweep.set_defaults(fn=_cmd_sweep)
+
+    autoscale = sub.add_parser(
+        "autoscale",
+        help="compare cluster controllers on a bursty trace ($/Mtoken economics)",
+    )
+    autoscale.add_argument("--model", default="Llama3-8B")
+    autoscale.add_argument("--prefill-gpu", default="H100")
+    autoscale.add_argument("--decode-gpu", default="H100")
+    autoscale.add_argument("--gpus-per-instance", type=int, default=1)
+    autoscale.add_argument("--n-prefill", type=int, default=2,
+                           help="peak-provisioned prefill pool size")
+    autoscale.add_argument("--n-decode", type=int, default=6,
+                           help="peak-provisioned decode pool size")
+    autoscale.add_argument("--max-prefill-batch", type=int, default=4)
+    autoscale.add_argument("--max-decode-batch", type=int, default=32)
+    autoscale.add_argument("--policy", default="fcfs", choices=POLICY_BUNDLES.names())
+    autoscale.add_argument("--controllers", type=lambda t: [p for p in t.split(",") if p],
+                           default=["static", "reactive", "slo"],
+                           help="comma-separated controller names to compare")
+    autoscale.add_argument("--rates", type=_csv_floats, default=[1.0, 8.0, 1.0],
+                           help="per-segment arrival rates (req/s) of the bursty trace")
+    autoscale.add_argument("--segment", type=float, default=60.0,
+                           help="segment duration (s)")
+    autoscale.add_argument("--output-tokens", type=int, default=100)
+    autoscale.add_argument("--output-spread", type=float, default=0.5)
+    autoscale.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+    autoscale.add_argument("--max-sim-time", type=float, default=1800.0)
+    autoscale.add_argument("--epoch", type=float, default=5.0,
+                           help="controller stepping period (s)")
+    autoscale.add_argument("--warmup", type=float, default=15.0,
+                           help="instance spawn warm-up delay (s)")
+    autoscale.add_argument("--min-instances", type=int, default=1)
+    autoscale.add_argument("--max-instances", type=int, default=8)
+    autoscale.add_argument("--queue-high", type=float, default=2.0,
+                           help="reactive scale-up threshold (queued per instance)")
+    autoscale.add_argument("--slo-ttft", type=float, default=1.0,
+                           help="P99 TTFT SLO (s) for the slo controller + verdict")
+    autoscale.add_argument("--slo-tbt", type=float, default=0.05,
+                           help="P99 TBT target (s) for the slo controller")
+    autoscale.add_argument("--cap", default=None,
+                           help="power_cap window as start:end:watts")
+    autoscale.set_defaults(fn=_cmd_autoscale)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache_cmd.add_argument("action", choices=("stats", "clear"))
+    cache_cmd.add_argument("--cache-dir", default=".repro_cache",
+                           help="result-cache directory")
+    cache_cmd.set_defaults(fn=_cmd_cache)
     return parser
 
 

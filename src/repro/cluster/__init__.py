@@ -16,6 +16,11 @@ Makes Section 3's systems opportunities executable:
   / requeue policies, registered by name.
 - :mod:`repro.cluster.engine` — the discrete-event core: event heap,
   instance state machines, memoized service times.
+- :mod:`repro.cluster.control` — the elastic control plane: cluster
+  controllers (static / reactive / slo / forecast / power_cap) stepped
+  inside the event loop to spawn, drain, and DVFS-throttle instances.
+- :mod:`repro.cluster.economics` — gpu-seconds, joules, and $/Mtoken
+  accounting behind every report's cost fields.
 - :mod:`repro.cluster.simulator` — the serving simulators (one per
   deployment shape) whose service times come from the analytical model.
 """
@@ -46,6 +51,20 @@ from .memory import DisaggregatedPool, KVPlacementPolicy, MemorySystem
 from .power_manager import ClusterPowerManager, PeakStrategy
 from .scheduler import ColocatedPool, InstanceSpec, PhasePools, PhaseSplitScheduler
 from .policies import POLICY_BUNDLES, PolicyBundle, get_policy_bundle
+from .control import (
+    CONTROLLERS,
+    ClusterController,
+    ControlAction,
+    ControlObservation,
+    ForecastController,
+    PoolStats,
+    PowerCapController,
+    ReactiveController,
+    SLOController,
+    StaticController,
+    get_controller,
+)
+from .economics import EconomicsConfig, EconomicsReport, PoolEconomics, pool_economics
 from .engine import (
     AbstractServiceTimeProvider,
     EventQueue,
@@ -105,6 +124,21 @@ __all__ = [
     "POLICY_BUNDLES",
     "PolicyBundle",
     "get_policy_bundle",
+    "CONTROLLERS",
+    "ClusterController",
+    "ControlAction",
+    "ControlObservation",
+    "ForecastController",
+    "PoolStats",
+    "PowerCapController",
+    "ReactiveController",
+    "SLOController",
+    "StaticController",
+    "get_controller",
+    "EconomicsConfig",
+    "EconomicsReport",
+    "PoolEconomics",
+    "pool_economics",
     "AbstractServiceTimeProvider",
     "EventQueue",
     "NetworkAwareServiceTimeProvider",

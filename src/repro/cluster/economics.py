@@ -1,0 +1,183 @@
+"""Serving economics: gpu-seconds, joules, and $/Mtoken from a simulation.
+
+The piece the paper defers ("further analysis on performance and total cost
+of operation is vital ... though it is out-of-scope") and the control plane
+makes answerable: once pools scale and throttle *inside* the event loop,
+the simulator knows exactly how many gpu-seconds a deployment held, at what
+clock, and how many tokens that bought.  This module folds those engine
+counters into money:
+
+- **capex** — amortized $/GPU-hour from :func:`repro.hardware.tco.gpu_hour_rate`
+  (GPU + fabric + facility + maintenance), charged on *provisioned*
+  gpu-seconds — warm-up and drain time included, because the GPUs are held;
+- **energy** — busy time weighted by the DVFS power ratio in effect when
+  each batch ran, plus leakage (``static_fraction`` of TDP) for alive-idle
+  time, priced at the electricity rate times PUE;
+- **$/Mtoken** — the operator's unit economics over completed output
+  tokens, the number the static-vs-elastic Pareto frontiers compare.
+
+Every quantity is a pure function of engine state, so fast/slow engine
+modes and parallel sweeps stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from ..errors import SpecError
+from ..hardware.power import DVFSCurve
+from ..hardware.tco import TCOAssumptions, gpu_hour_rate
+from ..units import HOUR
+from .scheduler import InstanceSpec
+
+__all__ = [
+    "EconomicsConfig",
+    "PoolEconomics",
+    "EconomicsReport",
+    "pool_economics",
+]
+
+_JOULES_PER_KWH = 3.6e6
+
+
+@dataclass(frozen=True)
+class EconomicsConfig:
+    """Operator assumptions behind the simulator's cost accounting.
+
+    ``topology_kind``/``group`` pick the fabric the TCO model prices for
+    the $/GPU-hour rate (independent of any co-simulated topology — the
+    rate is a book value, the co-simulation prices *latency*).
+    """
+
+    assumptions: TCOAssumptions = field(default_factory=TCOAssumptions)
+    curve: DVFSCurve = field(default_factory=DVFSCurve)
+    topology_kind: str = "circuit"
+    group: int = 4
+
+    def __post_init__(self) -> None:
+        if self.topology_kind not in ("direct", "switched", "circuit"):
+            raise SpecError("topology_kind must be direct|switched|circuit")
+        if self.group <= 0:
+            raise SpecError("group must be positive")
+
+
+@dataclass(frozen=True)
+class PoolEconomics:
+    """One pool's resource/energy/cost rollup over a simulation."""
+
+    pool: str
+    gpu: str
+    gpu_seconds: float  # provisioned (spawn-to-retire) gpu-seconds
+    busy_gpu_seconds: float
+    energy_joules: float
+    usd_capex: float  # amortized capex + maintenance on the gpu-seconds
+    usd_energy: float  # simulated joules at the electricity price * PUE
+
+    @property
+    def usd(self) -> float:
+        """The pool's full cost."""
+        return self.usd_capex + self.usd_energy
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the provisioned gpu-seconds."""
+        return self.busy_gpu_seconds / self.gpu_seconds if self.gpu_seconds > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class EconomicsReport:
+    """Per-pool detail behind a report's scalar cost fields."""
+
+    pools: Tuple[PoolEconomics, ...]
+    duration: float
+    output_tokens: int
+
+    @property
+    def gpu_seconds(self) -> float:
+        """Provisioned gpu-seconds across every pool."""
+        return sum(p.gpu_seconds for p in self.pools)
+
+    @property
+    def energy_joules(self) -> float:
+        """Simulated GPU energy across every pool."""
+        return sum(p.energy_joules for p in self.pools)
+
+    @property
+    def usd_cost(self) -> float:
+        """Full cost (capex amortization + energy) across every pool."""
+        return sum(p.usd for p in self.pools)
+
+    @property
+    def usd_per_mtoken(self) -> float:
+        """Unit economics over completed output tokens (0.0 if none)."""
+        if self.output_tokens <= 0:
+            return 0.0
+        return self.usd_cost / (self.output_tokens / 1e6)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [f"economics over {self.duration:.1f}s, {self.output_tokens} output tokens:"]
+        for p in self.pools:
+            lines.append(
+                f"  {p.pool}: {p.gpu_seconds:.0f} gpu-s "
+                f"({p.utilization:.0%} busy), {p.energy_joules / _JOULES_PER_KWH:.2f} kWh, "
+                f"${p.usd:.2f} (${p.usd_capex:.2f} capex + ${p.usd_energy:.2f} energy)"
+            )
+        lines.append(f"  total ${self.usd_cost:.2f} -> ${self.usd_per_mtoken:.2f}/Mtoken")
+        return "\n".join(lines)
+
+
+def pool_economics(
+    pool: str,
+    instance_spec: InstanceSpec,
+    states: Sequence,
+    duration: float,
+    config: EconomicsConfig,
+) -> PoolEconomics:
+    """Roll one pool's engine states up into a :class:`PoolEconomics`.
+
+    ``states`` are engine instance states carrying the lifecycle block
+    (``spawned_at``/``retired_at``/``busy_time``/``energy_busy``); the
+    provisioned window of each instance is clipped to the report's
+    ``duration`` so never-retired instances stop accruing at the clock of
+    the last request-affecting event.
+    """
+    gpu = instance_spec.gpu
+    gpi = instance_spec.n_gpus
+    alive_s = 0.0
+    busy_s = 0.0
+    weighted_busy = 0.0  # busy seconds x power_ratio(frequency at run time)
+    for state in states:
+        end = min(duration, state.retired_at)
+        alive = max(0.0, end - state.spawned_at)
+        alive_s += alive
+        busy = min(state.busy_time, alive)
+        busy_s += busy
+        # Clip energy by the same ratio as busy time so a batch whose
+        # latency overhangs the horizon is not charged energy while its
+        # gpu-seconds are excluded ($/Mtoken must compare consistently).
+        if state.busy_time > 0:
+            weighted_busy += state.energy_busy * (busy / state.busy_time)
+    idle_s = max(0.0, alive_s - busy_s)
+    energy = gpu.tdp * gpi * (weighted_busy + config.curve.static_fraction * idle_s)
+    gpu_seconds = alive_s * gpi
+    rate = gpu_hour_rate(
+        gpu, len(states) * gpi, config.assumptions, config.topology_kind, config.group
+    )
+    usd_capex = gpu_seconds / HOUR * rate
+    usd_energy = (
+        energy
+        / _JOULES_PER_KWH
+        * config.assumptions.pue
+        * config.assumptions.electricity_usd_per_kwh
+    )
+    return PoolEconomics(
+        pool=pool,
+        gpu=gpu.name,
+        gpu_seconds=gpu_seconds,
+        busy_gpu_seconds=busy_s * gpi,
+        energy_joules=energy,
+        usd_capex=usd_capex,
+        usd_energy=usd_energy,
+    )

@@ -31,6 +31,7 @@ import abc
 import copy
 import heapq
 import itertools
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
@@ -39,10 +40,12 @@ import numpy as np
 
 from ..core.chunked import MixedIteration, mixed_iteration_time
 from ..errors import SimulationError, SpecError
+from ..hardware.power import DVFSCurve
 from ..network.collectives import Collective, cost_for
 from ..network.topology import Topology
 from ..network.traffic import congestion_slowdown
 from ..workloads.traces import Request
+from .control import ClusterController, ControlAction, ControlObservation, PoolStats
 from .policies import PolicyBundle
 from .scheduler import ColocatedPool, InstanceSpec, PhasePools
 
@@ -60,6 +63,12 @@ __all__ = [
     "PhaseSplitEngine",
     "ColocatedEngine",
 ]
+
+#: Event kinds that are pure bookkeeping: they must not advance the
+#: reported workload clock (``work_time``) — a controller epoch or a
+#: repair on an idle cluster would otherwise dilute every
+#: duration-normalized metric.
+_BOOKKEEPING_EVENTS = frozenset({"failure", "recovered", "controller", "spawn_ready"})
 
 
 def require_kv_headroom(instance: InstanceSpec, pool_label: str) -> int:
@@ -118,7 +127,25 @@ class AbstractServiceTimeProvider(abc.ABC):
     pool is identical when the network is not modeled);
     :class:`NetworkAwareServiceTimeProvider` uses it to price each
     instance's collectives from its *placed* GPU group.
+
+    Providers also carry the control plane's **DVFS frequency scalar**:
+    :meth:`set_frequency` stretches every GPU-bound latency by ``1/f``
+    (throughput assumed linear in clock).  The default ``f = 1.0`` divides
+    by exactly one, so controller-free runs stay bit-identical.
     """
+
+    _frequency: float = 1.0
+
+    def set_frequency(self, scalar: float) -> None:
+        """Set the DVFS clock scalar applied to GPU-bound latencies."""
+        if scalar <= 0:
+            raise SpecError("frequency scalar must be positive")
+        self._frequency = float(scalar)
+
+    @property
+    def frequency(self) -> float:
+        """The current DVFS clock scalar (1.0 = base clock)."""
+        return self._frequency
 
     @abc.abstractmethod
     def prefill_time(self, batch: int, prompt_len: int, instance: int = 0) -> float:
@@ -184,16 +211,18 @@ class ServiceTimeProvider(AbstractServiceTimeProvider):
     def prefill_time(self, batch: int, prompt_len: int, instance: int = 0) -> float:
         """Latency of one prefill batch (prompt length bucketed)."""
         prompt = self._bucket(prompt_len)
+        # The memo stores base-clock latencies; the DVFS scalar is applied
+        # on the way out so frequency changes never thrash the cache.
         return self._memo(
             ("p", batch, prompt), lambda: self.instance.prefill_time(batch, prompt)
-        )
+        ) / self._frequency
 
     def decode_time(self, batch: int, context_len: int, instance: int = 0) -> float:
         """Latency of one decode iteration (context bucketed)."""
         context = self._bucket(context_len)
         return self._memo(
             ("d", batch, context), lambda: self.instance.decode_time(batch, context)
-        )
+        ) / self._frequency
 
     def mixed_time(
         self, decode_batch: int, context_len: int, chunk: int, prompt_len: int,
@@ -212,7 +241,7 @@ class ServiceTimeProvider(AbstractServiceTimeProvider):
                 spec.model, spec.gpu, spec.n_gpus, iteration, spec.policy
             ).iteration_time
 
-        return self._memo(("m", decode_batch, context, chunk, prompt), compute)
+        return self._memo(("m", decode_batch, context, chunk, prompt), compute) / self._frequency
 
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss counters and resident entries (for benchmarks/tests)."""
@@ -341,6 +370,28 @@ class NetworkAwareServiceTimeProvider(ServiceTimeProvider):
 
 
 # --- instance state machines ------------------------------------------------
+#
+# Every instance state carries the same lifecycle block, maintained by the
+# engines' control plane:
+#
+# - ``spawned_at`` / ``up_from``  — when the instance was provisioned and
+#   when its warm-up (weight load) completes; work is only offered from
+#   ``up_from`` on, but GPU-seconds accrue from ``spawned_at`` (the
+#   provisioning cost of a scale-up);
+# - ``draining`` — no new work; resident sequences finish;
+# - ``retired`` / ``retired_at`` — the instance released its GPUs;
+# - ``energy_busy`` — busy seconds weighted by the DVFS power ratio in
+#   effect when each batch ran (the integrand of the energy accounting).
+
+
+def _available(state, time: float) -> bool:
+    """Can this instance be offered new work at ``time``?"""
+    return (
+        not state.retired
+        and not state.draining
+        and time >= state.up_from
+        and time >= state.down_until
+    )
 
 
 @dataclass
@@ -368,6 +419,12 @@ class PrefillState:
     busy: bool = False
     down_until: float = 0.0
     busy_time: float = 0.0
+    spawned_at: float = 0.0
+    up_from: float = 0.0
+    draining: bool = False
+    retired: bool = False
+    retired_at: float = math.inf
+    energy_busy: float = 0.0
 
 
 @dataclass
@@ -387,6 +444,12 @@ class DecodeState:
     busy_time: float = 0.0
     occupied: int = 0
     context_sum: int = 0
+    spawned_at: float = 0.0
+    up_from: float = 0.0
+    draining: bool = False
+    retired: bool = False
+    retired_at: float = math.inf
+    energy_busy: float = 0.0
 
     def occupied_tokens(self) -> int:
         return self.occupied
@@ -423,6 +486,12 @@ class ColocatedState:
     busy_time: float = 0.0
     occupied: int = 0
     context_sum: int = 0
+    spawned_at: float = 0.0
+    up_from: float = 0.0
+    draining: bool = False
+    retired: bool = False
+    retired_at: float = math.inf
+    energy_busy: float = 0.0
 
     def committed(self) -> int:
         """Sequences holding a slot (decoding, chunking, or waiting to chunk)."""
@@ -458,9 +527,25 @@ class CompletedRequest:
 
 
 class _EngineBase:
-    """Shared event loop: subclasses provide a ``handlers`` mapping."""
+    """Shared event loop: subclasses provide a ``handlers`` mapping.
 
-    def __init__(self, config) -> None:
+    The loop owns the **control plane**: when a
+    :class:`~repro.cluster.control.ClusterController` with a positive
+    epoch is attached, a ``controller`` event fires every epoch, observes
+    the cluster, and applies the returned action — spawning instances
+    (with warm-up), draining them gracefully, or setting the DVFS
+    frequency scalar on every service-time provider.  ``controller=None``
+    (or the ``static`` controller) schedules no events at all, keeping the
+    event stream bit-identical to the pre-control-plane engine.
+    """
+
+    def __init__(
+        self,
+        config,
+        controller: Optional[ClusterController] = None,
+        power_curve: Optional[DVFSCurve] = None,
+        spawn_limits: Optional[Dict[str, int]] = None,
+    ) -> None:
         self.config = config
         # fast_engine=True (the default) reads the incrementally maintained
         # occupancy/context counters; False re-derives both by scanning
@@ -480,11 +565,26 @@ class _EngineBase:
         self.ttft: Dict[int, float] = {}
         self.restarts: Dict[int, int] = {}
         self.requeued = 0
+        self.controller = controller
+        self.power_curve = power_curve or DVFSCurve()
+        self.spawn_limits = dict(spawn_limits or {})
+        self.frequency = 1.0
+        self._busy_power_ratio = self.power_curve.power_ratio(1.0)
+        self.spawned = 0
+        self.retired = 0
+        self._window_ttfts: List[float] = []
+        self._window_tbts: List[float] = []
 
     def _record_ttft(self, request: Request, time: float) -> None:
         # Keep the first-token-ever time: a failure-requeued request's second
         # prefill must not overwrite its original TTFT.
-        self.ttft.setdefault(request.request_id, time - request.arrival)
+        if request.request_id not in self.ttft:
+            value = time - request.arrival
+            self.ttft[request.request_id] = value
+            # The SLO window only feeds controller observations; without a
+            # controller it would just accumulate for the whole run.
+            if self.controller is not None:
+                self._window_ttfts.append(value)
 
     def _record_restart(self, request: Request) -> None:
         self.restarts[request.request_id] = self.restarts.get(request.request_id, 0) + 1
@@ -492,12 +592,15 @@ class _EngineBase:
 
     def _complete(self, seq: ActiveSequence, finish: float) -> None:
         request = seq.request
+        mean_tbt = float(np.mean(seq.iteration_times))
+        if self.controller is not None:
+            self._window_tbts.append(mean_tbt)
         self.completed.append(
             CompletedRequest(
                 request=request,
                 ttft=self.ttft.get(request.request_id, 0.0),
                 e2e=finish - request.arrival,
-                mean_tbt=float(np.mean(seq.iteration_times)),
+                mean_tbt=mean_tbt,
                 restarts=self.restarts.get(request.request_id, 0),
             )
         )
@@ -508,6 +611,8 @@ class _EngineBase:
             self.events.push(request.arrival, "arrival", (request,))
         for time, pool, index, duration in self.failures:
             self.events.push(time, "failure", (pool, index, duration))
+        if self.controller is not None and self.controller.epoch > 0:
+            self.events.push(self.controller.epoch, "controller", ())
         handlers = self.handlers()
         horizon = self.config.max_sim_time
         while self.events:
@@ -515,7 +620,7 @@ class _EngineBase:
             if time > horizon:
                 break
             self.now = time
-            if kind not in ("failure", "recovered"):
+            if kind not in _BOOKKEEPING_EVENTS:
                 self.work_time = time
             handler = handlers.get(kind)
             if handler is None:  # pragma: no cover - defensive
@@ -524,6 +629,132 @@ class _EngineBase:
         return self
 
     def handlers(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # --- control plane ------------------------------------------------------
+
+    def _control_handlers(self):
+        """The event handlers every engine shares with the control plane."""
+        return {
+            "controller": self._on_controller_event,
+            "spawn_ready": self._on_spawn_ready,
+        }
+
+    def _on_controller_event(self, now: float, payload: tuple) -> None:
+        action = self.controller.step(self._observe(now))
+        if action is not None and not action.is_noop():
+            self._apply_action(now, action)
+        # Keep stepping only while something can still happen: any
+        # non-controller event in the heap, or queued/resident work that a
+        # future scale-up could serve.  Otherwise the epoch chain would pin
+        # every run to the full horizon.
+        pending = any(kind != "controller" for _, _, kind, _ in self.events._heap)
+        if pending or self._has_pending_work():
+            self.events.push(now + self.controller.epoch, "controller", ())
+
+    def _apply_action(self, now: float, action: ControlAction) -> None:
+        if action.frequency is not None and action.frequency != self.frequency:
+            self._set_frequency(action.frequency)
+        for pool, delta in action.scale.items():
+            if delta > 0:
+                for _ in range(delta):
+                    if not self._spawn(pool, now):
+                        break
+            elif delta < 0:
+                for _ in range(-delta):
+                    if not self._drain(pool, now):
+                        break
+
+    def _set_frequency(self, scalar: float) -> None:
+        if scalar <= 0:
+            raise SimulationError("controller set a non-positive frequency scalar")
+        self.frequency = float(scalar)
+        self._busy_power_ratio = self.power_curve.power_ratio(self.frequency)
+        for provider in self._providers():
+            provider.set_frequency(self.frequency)
+
+    def _spawn_allowed(self, pool: str, states: list) -> bool:
+        """Physical + policy bounds on adding one more instance to a pool."""
+        limit = self.spawn_limits.get(pool)
+        if limit is not None and len(states) >= limit:
+            return False
+        provisioned = sum(1 for s in states if not s.retired)
+        return provisioned < self.controller.max_instances
+
+    def _drain_floor(self, states: list) -> bool:
+        """True when one more drain would leave the pool below its floor."""
+        candidates = sum(1 for s in states if not s.retired and not s.draining)
+        floor = max(1, self.controller.min_instances) if self.controller else 1
+        return candidates <= floor
+
+    def _retire_state(self, state, now: float) -> None:
+        state.draining = True
+        state.retired = True
+        state.retired_at = now
+        self.retired += 1
+
+    def _pool_stats(self, states: list, now: float, queue_depth: int,
+                    gpus_per_instance: int, capacity: int = 0) -> PoolStats:
+        alive = warming = draining = busy = 0
+        occupied: List[float] = []
+        for state in states:
+            if state.retired:
+                continue
+            if state.draining:
+                draining += 1
+            elif now < state.up_from:
+                warming += 1
+            else:
+                alive += 1
+                if capacity > 0:
+                    occupied.append(state.occupied / capacity)
+            if self._state_busy(state):
+                busy += 1
+        occupancy = float(np.mean(occupied)) if occupied else 0.0
+        return PoolStats(
+            alive=alive, warming=warming, draining=draining, busy=busy,
+            queue_depth=queue_depth, occupancy=occupancy,
+            gpus_per_instance=gpus_per_instance,
+        )
+
+    @staticmethod
+    def _state_busy(state) -> bool:
+        if isinstance(state, PrefillState):
+            return state.busy
+        if isinstance(state, ColocatedState):
+            return state.has_work()
+        return bool(state.active)
+
+    def _make_observation(self, now: float, pools: Dict[str, PoolStats]) -> ControlObservation:
+        obs = ControlObservation(
+            time=now,
+            pools=pools,
+            window_ttfts=tuple(self._window_ttfts),
+            window_tbts=tuple(self._window_tbts),
+            frequency=self.frequency,
+        )
+        self._window_ttfts.clear()
+        self._window_tbts.clear()
+        return obs
+
+    # Subclass hooks ---------------------------------------------------------
+
+    def _observe(self, now: float) -> ControlObservation:  # pragma: no cover
+        raise NotImplementedError
+
+    def _has_pending_work(self) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    def _providers(self) -> List[AbstractServiceTimeProvider]:  # pragma: no cover
+        raise NotImplementedError
+
+    def _spawn(self, pool: str, now: float) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    def _drain(self, pool: str, now: float) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    def _on_spawn_ready(self, now: float, payload: tuple) -> None:  # pragma: no cover
         raise NotImplementedError
 
 
@@ -544,8 +775,11 @@ class PhaseSplitEngine(_EngineBase):
         prefill_provider: ServiceTimeProvider,
         decode_provider: ServiceTimeProvider,
         failures: Sequence[Tuple[float, str, int, float]] = (),
+        controller: Optional[ClusterController] = None,
+        power_curve: Optional[DVFSCurve] = None,
+        spawn_limits: Optional[Dict[str, int]] = None,
     ) -> None:
-        super().__init__(config)
+        super().__init__(config, controller, power_curve, spawn_limits)
         self.pools = pools
         self.policies = policies
         self.prefill_provider = prefill_provider
@@ -570,7 +804,81 @@ class PhaseSplitEngine(_EngineBase):
             "decode_admit": self._on_decode_admit,
             "failure": self._on_failure,
             "recovered": self._on_recovered,
+            **self._control_handlers(),
         }
+
+    # --- control plane ------------------------------------------------------
+
+    def _pool_states(self, pool: str) -> list:
+        if pool == "prefill":
+            return self.prefill_states
+        if pool == "decode":
+            return self.decode_states
+        raise SimulationError(f"unknown pool '{pool}' (have prefill/decode)")
+
+    def _providers(self) -> List[AbstractServiceTimeProvider]:
+        return [self.prefill_provider, self.decode_provider]
+
+    def _has_pending_work(self) -> bool:
+        return bool(
+            self.prefill_queue
+            or self.decode_queue
+            or any(s.busy for s in self.prefill_states)
+            or any(s.active for s in self.decode_states)
+        )
+
+    def _observe(self, now: float) -> ControlObservation:
+        return self._make_observation(now, {
+            "prefill": self._pool_stats(
+                self.prefill_states, now, len(self.prefill_queue),
+                self.pools.prefill.n_gpus,
+            ),
+            "decode": self._pool_stats(
+                self.decode_states, now, len(self.decode_queue),
+                self.pools.decode.n_gpus, capacity=self.kv_capacity,
+            ),
+        })
+
+    def _spawn(self, pool: str, now: float) -> bool:
+        states = self._pool_states(pool)
+        if not self._spawn_allowed(pool, states):
+            return False
+        warm = now + max(0.0, self.controller.warmup_s)
+        if pool == "prefill":
+            states.append(PrefillState(spawned_at=now, up_from=warm))
+        else:
+            states.append(DecodeState(spawned_at=now, up_from=warm))
+        self.spawned += 1
+        self.events.push(warm, "spawn_ready", (pool,))
+        return True
+
+    def _drain(self, pool: str, now: float) -> bool:
+        states = self._pool_states(pool)
+        if self._drain_floor(states):
+            return False
+        candidates = [
+            i for i, s in enumerate(states) if not s.retired and not s.draining
+        ]
+        if pool == "prefill":
+            # Prefer idle instances; among equals, the latest-spawned.
+            idx = min(candidates, key=lambda i: (states[i].busy, -i))
+        else:
+            # Least resident KV state drains fastest; ties retire the
+            # latest-spawned instance first.
+            idx = min(candidates, key=lambda i: (states[i].occupied, -i))
+        inst = states[idx]
+        inst.draining = True
+        idle = (not inst.busy) if pool == "prefill" else (not inst.active)
+        if idle:
+            self._retire_state(inst, now)
+        return True
+
+    def _on_spawn_ready(self, now: float, payload: tuple) -> None:
+        (pool,) = payload
+        if pool == "prefill":
+            self._dispatch_prefill(now)
+        else:
+            self._admit_decode(now)
 
     # --- dispatch ----------------------------------------------------------
 
@@ -580,7 +888,7 @@ class PhaseSplitEngine(_EngineBase):
         order = self.prefill_routing.order([s.busy_time for s in self.prefill_states])
         for idx in order:
             inst = self.prefill_states[idx]
-            if inst.busy or time < inst.down_until or not self.prefill_queue:
+            if inst.busy or not _available(inst, time) or not self.prefill_queue:
                 continue
             batch = self.policies.prefill.select(self.prefill_queue, self.pools.max_prefill_batch)
             if not batch:
@@ -589,6 +897,7 @@ class PhaseSplitEngine(_EngineBase):
             latency = self.prefill_provider.prefill_time(len(batch), prompt, instance=idx)
             inst.busy = True
             inst.busy_time += latency
+            inst.energy_busy += latency * self._busy_power_ratio
             self.events.push(time + latency, "prefill_done", (idx, tuple(batch)))
 
     def _admit_decode(self, time: float) -> None:
@@ -604,7 +913,7 @@ class PhaseSplitEngine(_EngineBase):
         order = self.decode_routing.order(loads)
         for idx in order:
             inst = self.decode_states[idx]
-            if time < inst.down_until or not self.decode_queue:
+            if not _available(inst, time) or not self.decode_queue:
                 continue
             slots = self.pools.max_decode_batch - len(inst.active)
             budget = self.kv_capacity - loads[idx]
@@ -625,7 +934,10 @@ class PhaseSplitEngine(_EngineBase):
 
     def _on_prefill_done(self, now: float, payload: tuple) -> None:
         idx, batch = payload
-        self.prefill_states[idx].busy = False
+        inst = self.prefill_states[idx]
+        inst.busy = False
+        if inst.draining and not inst.retired:
+            self._retire_state(inst, now)
         for request in batch:
             self._record_ttft(request, now)
             self.decode_queue.append(request)
@@ -652,6 +964,7 @@ class PhaseSplitEngine(_EngineBase):
             self.config.min_decode_interval,
         )
         inst.busy_time += latency
+        inst.energy_busy += latency * self._busy_power_ratio
         finish = now + latency
         inst.busy_until = finish
         for seq in inst.active:
@@ -674,12 +987,21 @@ class PhaseSplitEngine(_EngineBase):
         inst = self.decode_states[idx]
         inst.running = False
         self._admit_decode(now)
+        if inst.draining and not inst.retired and not inst.active:
+            self._retire_state(inst, now)
+            return
         if inst.active and not inst.running and now >= inst.down_until:
             inst.running = True
             self.events.push(now, "decode_iter", (idx,))
 
     def _on_failure(self, now: float, payload: tuple) -> None:
         pool, index, duration = payload
+        # Elastic runs validate failures against the *expanded* instance
+        # range: a fault aimed at a never-spawned or already-retired
+        # instance hits no hardware.
+        states = self._pool_states(pool)
+        if index >= len(states) or states[index].retired:
+            return
         # max(): a short overlapping failure must not cut an outage short
         # (scripted and sampled schedules compose, so overlap is possible).
         if pool == "prefill":
@@ -698,6 +1020,10 @@ class PhaseSplitEngine(_EngineBase):
             inst.active.clear()
             inst.occupied = 0
             inst.context_sum = 0
+            if inst.draining and not inst.retired:
+                # A draining instance that just lost its residents has
+                # nothing left to finish: release its GPUs now.
+                self._retire_state(inst, now)
             # Victims must not strand: once the arrival stream has ended
             # nothing else would wake an idle prefill pool to re-serve them.
             self._dispatch_prefill(now)
@@ -729,8 +1055,11 @@ class ColocatedEngine(_EngineBase):
         policies: PolicyBundle,
         provider: ServiceTimeProvider,
         failures: Sequence[Tuple[float, str, int, float]] = (),
+        controller: Optional[ClusterController] = None,
+        power_curve: Optional[DVFSCurve] = None,
+        spawn_limits: Optional[Dict[str, int]] = None,
     ) -> None:
-        super().__init__(config)
+        super().__init__(config, controller, power_curve, spawn_limits)
         self.pool = pool
         self.policies = policies
         self.provider = provider
@@ -749,7 +1078,55 @@ class ColocatedEngine(_EngineBase):
             "admit": self._on_admit,
             "failure": self._on_failure,
             "recovered": self._on_recovered,
+            **self._control_handlers(),
         }
+
+    # --- control plane ------------------------------------------------------
+
+    def _providers(self) -> List[AbstractServiceTimeProvider]:
+        return [self.provider]
+
+    def _has_pending_work(self) -> bool:
+        return bool(self.pending or any(s.has_work() for s in self.states))
+
+    def _observe(self, now: float) -> ControlObservation:
+        return self._make_observation(now, {
+            "colocated": self._pool_stats(
+                self.states, now, len(self.pending),
+                self.pool.instance.n_gpus, capacity=self.kv_capacity,
+            ),
+        })
+
+    def _spawn(self, pool: str, now: float) -> bool:
+        if pool != "colocated":
+            raise SimulationError(f"unknown pool '{pool}' (have colocated)")
+        if not self._spawn_allowed(pool, self.states):
+            return False
+        warm = now + max(0.0, self.controller.warmup_s)
+        self.states.append(ColocatedState(spawned_at=now, up_from=warm))
+        self.spawned += 1
+        self.events.push(warm, "spawn_ready", (pool,))
+        return True
+
+    def _drain(self, pool: str, now: float) -> bool:
+        if pool != "colocated":
+            raise SimulationError(f"unknown pool '{pool}' (have colocated)")
+        if self._drain_floor(self.states):
+            return False
+        candidates = [
+            i for i, s in enumerate(self.states) if not s.retired and not s.draining
+        ]
+        idx = min(candidates, key=lambda i: (self.states[i].occupied, -i))
+        inst = self.states[idx]
+        inst.draining = True
+        if not inst.has_work():
+            self._retire_state(inst, now)
+        return True
+
+    def _on_spawn_ready(self, now: float, payload: tuple) -> None:
+        self._dispatch(now)
+
+    # --- dispatch ----------------------------------------------------------
 
     def _dispatch(self, time: float) -> None:
         if not self.pending:
@@ -761,7 +1138,7 @@ class ColocatedEngine(_EngineBase):
         order = self.routing.order(loads)
         for idx in order:
             inst = self.states[idx]
-            if time < inst.down_until or not self.pending:
+            if not _available(inst, time) or not self.pending:
                 continue
             slots = self.pool.max_decode_batch - inst.committed()
             budget = self.kv_capacity - loads[idx]
@@ -800,6 +1177,7 @@ class ColocatedEngine(_EngineBase):
             self.config.min_decode_interval,
         )
         inst.busy_time += latency
+        inst.energy_busy += latency * self._busy_power_ratio
         finish = now + latency
         inst.busy_until = finish
         for seq in inst.active:
@@ -830,12 +1208,17 @@ class ColocatedEngine(_EngineBase):
         inst = self.states[idx]
         inst.running = False
         self._dispatch(now)
+        if inst.draining and not inst.retired and not inst.has_work():
+            self._retire_state(inst, now)
+            return
         if inst.has_work() and not inst.running and now >= inst.down_until:
             inst.running = True
             self.events.push(now, "iter", (idx,))
 
     def _on_failure(self, now: float, payload: tuple) -> None:
         _, index, duration = payload
+        if index >= len(self.states) or self.states[index].retired:
+            return
         inst = self.states[index]
         inst.down_until = max(inst.down_until, now + duration)
         inst.running = False
@@ -854,6 +1237,8 @@ class ColocatedEngine(_EngineBase):
         inst.current = None
         inst.occupied = 0
         inst.context_sum = 0
+        if inst.draining and not inst.retired:
+            self._retire_state(inst, now)
         # Healthy idle instances pick the victims up now, not at repair time.
         self._dispatch(now)
         self.events.push(now + duration, "recovered", (index,))

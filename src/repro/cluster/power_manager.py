@@ -73,6 +73,28 @@ class ClusterPowerManager:
             for policy in (ClockPolicy.UNIFORM_DVFS, ClockPolicy.POWER_GATE, ClockPolicy.GATE_PLUS_DVFS)
         }
 
+    # --- power caps ---------------------------------------------------------------
+
+    def cap_clock(self, cap_watts: float, active: int | None = None) -> float:
+        """Highest DVFS clock fitting ``active`` GPUs under ``cap_watts``.
+
+        Returns 0.0 when even the DVFS floor exceeds the cap — the signal
+        that devices must be power-gated (drained) instead of down-clocked.
+        Network power is not charged here: caps in the serving simulator
+        apply to the GPU fleet the controller actually throttles.
+
+        >>> from repro.hardware import LITE
+        >>> mgr = ClusterPowerManager(LITE, 16)
+        >>> mgr.cap_clock(16 * LITE.tdp)
+        1.0
+        """
+        if cap_watts <= 0:
+            raise SpecError("cap_watts must be positive")
+        count = self.count if active is None else active
+        if count <= 0:
+            raise SpecError("active count must be positive")
+        return self.curve.clock_for_power(cap_watts / (count * self.gpu.tdp))
+
     # --- peak serving ------------------------------------------------------------
 
     def overclock_power(self, peak_load: float, cooling: CoolingModel | None = None) -> float:

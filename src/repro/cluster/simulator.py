@@ -32,7 +32,8 @@ the policy bundle, and the failure schedule (scripted or seeded).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import copy
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -41,6 +42,8 @@ from ..errors import SpecError
 from ..exec.seeding import derive_seed
 from ..network.topology import Topology
 from ..workloads.traces import Request
+from .control import ClusterController, get_controller
+from .economics import EconomicsConfig, EconomicsReport, pool_economics
 from .engine import (
     AbstractServiceTimeProvider,
     ColocatedEngine,
@@ -148,6 +151,43 @@ def _make_provider(
     )
 
 
+def _elastic_shapes(
+    shapes: Sequence[PoolShape],
+    controller: Optional[ClusterController],
+    topology: Optional[Topology],
+    placer: "str | Placement",
+) -> Tuple[Tuple[PoolShape, ...], Dict[str, int]]:
+    """Pool shapes plus per-pool spawn limits for an elastic deployment.
+
+    With an active controller and a topology, every pool's shape is
+    expanded toward the controller's ``max_instances`` as far as free
+    topology GPUs allow — the placer then pre-places the growth groups so
+    a controller spawn lands on concrete, disjoint GPU indices (and the
+    network-aware provider can price its collectives).  Without a
+    topology there is no physical bound: spawn limits stay empty and the
+    controller's own ``max_instances`` is the only cap.  An explicit
+    :class:`Placement` defines the limits directly via its group counts.
+    """
+    shapes = tuple(shapes)
+    if controller is None or controller.epoch <= 0:
+        return shapes, {}
+    if isinstance(placer, Placement):
+        return shapes, {pool: len(placer.groups(pool)) for pool in placer.pools}
+    if topology is None:
+        return shapes, {}
+    free = topology.n_gpus - sum(s.total_gpus for s in shapes)
+    expanded: List[PoolShape] = []
+    limits: Dict[str, int] = {}
+    for shape in shapes:
+        extra_cap = max(0, controller.max_instances - shape.n_instances)
+        extra = min(extra_cap, free // shape.gpus_per_instance)
+        free -= extra * shape.gpus_per_instance
+        n = shape.n_instances + extra
+        expanded.append(PoolShape(shape.name, n, shape.gpus_per_instance))
+        limits[shape.name] = n
+    return tuple(expanded), limits
+
+
 def _component_instance_failures(
     topology: Topology,
     placement: Placement,
@@ -212,6 +252,13 @@ class SimReport:
     distinct requests that restarted at least once.  ``duration`` is the
     clock of the last request-affecting event, so failure/repair
     bookkeeping on an idle cluster does not dilute the normalized metrics.
+
+    The economics block closes the paper's perf-per-TCO loop:
+    ``gpu_seconds`` are *provisioned* gpu-seconds (elastic pools hold
+    fewer in the lulls), ``energy_joules`` integrates the DVFS-weighted
+    power model over the run, and ``usd_per_mtoken`` is the amortized
+    unit cost over completed output tokens (0.0 when none completed).
+    Per-pool detail lives on the simulator's ``last_economics``.
     """
 
     completed: int
@@ -228,10 +275,16 @@ class SimReport:
     decode_utilization: float
     requeued_on_failure: int
     restarted_requests: int = 0
+    gpu_seconds: float = 0.0
+    energy_joules: float = 0.0
+    usd_cost: float = 0.0
+    usd_per_mtoken: float = 0.0
+    spawned_instances: int = 0
+    retired_instances: int = 0
 
     def describe(self) -> str:
         """Multi-line human-readable summary."""
-        return (
+        text = (
             f"completed {self.completed} (dropped {self.dropped}) in {self.duration:.1f}s\n"
             f"  TTFT p50/p99 {self.ttft_p50 * 1e3:.0f}/{self.ttft_p99 * 1e3:.0f} ms, "
             f"TBT mean/p99 {self.tbt_mean * 1e3:.1f}/{self.tbt_p99 * 1e3:.1f} ms\n"
@@ -242,6 +295,18 @@ class SimReport:
             f"requeued on failure {self.requeued_on_failure} "
             f"({self.restarted_requests} requests restarted)"
         )
+        if self.gpu_seconds > 0:
+            text += (
+                f"\n  economics: {self.gpu_seconds:.0f} gpu-s, "
+                f"{self.energy_joules / 3.6e6:.2f} kWh, ${self.usd_cost:.2f} "
+                f"(${self.usd_per_mtoken:.2f}/Mtok)"
+            )
+            if self.spawned_instances or self.retired_instances:
+                text += (
+                    f", {self.spawned_instances} spawned / "
+                    f"{self.retired_instances} retired"
+                )
+        return text
 
 
 def _build_report(
@@ -289,6 +354,46 @@ def _build_report(
     )
 
 
+def _failure_limit(
+    spawn_limits: Dict[str, int],
+    controller: Optional[ClusterController],
+    pool: str,
+    initial: int,
+) -> int:
+    """Highest instance index scripted failures may legally target.
+
+    Placement-bounded pools use their pre-placed group count; otherwise an
+    elastic pool accepts faults up to the controller's growth cap (the
+    engine no-ops faults on never-spawned instances), and a static pool
+    keeps the strict initial bound.
+    """
+    if pool in spawn_limits:
+        return spawn_limits[pool]
+    if controller is not None and controller.epoch > 0:
+        return max(initial, controller.max_instances)
+    return initial
+
+
+def _attach_economics(
+    report: SimReport, engine, pool_rollups: Tuple
+) -> Tuple[SimReport, EconomicsReport]:
+    """Fold the engine's resource counters into the report's cost fields."""
+    out_tokens = sum(c.request.output_tokens for c in engine.completed)
+    econ = EconomicsReport(
+        pools=tuple(pool_rollups), duration=report.duration, output_tokens=out_tokens
+    )
+    report = replace(
+        report,
+        gpu_seconds=econ.gpu_seconds,
+        energy_joules=econ.energy_joules,
+        usd_cost=econ.usd_cost,
+        usd_per_mtoken=econ.usd_per_mtoken,
+        spawned_instances=engine.spawned,
+        retired_instances=engine.retired,
+    )
+    return report, econ
+
+
 def _validate_failures(
     failures: Sequence[Tuple[float, str, int, float]],
     limits: Dict[str, int],
@@ -322,6 +427,16 @@ class ServingSimulator:
     faults — scripted :class:`ComponentFailure` events and/or a sampled
     :class:`ComponentFailureModel` — are resolved through the placement onto
     the instances they down.
+
+    Elastic control: ``controller`` names a
+    :data:`repro.cluster.control.CONTROLLERS` entry (or is an instance);
+    the engine steps it every ``controller.epoch`` seconds to spawn,
+    drain, or DVFS-throttle instances.  ``None`` and ``"static"`` are
+    bit-identical to the pre-control-plane engine.  With a topology, the
+    growth headroom is pre-placed so spawns land on concrete GPU groups.
+    ``economics`` sets the cost assumptions behind the report's
+    gpu-seconds/energy/$ fields; per-pool detail is kept on
+    ``self.last_economics`` after each run.
     """
 
     def __init__(
@@ -338,6 +453,8 @@ class ServingSimulator:
         network_model: str = "none",
         component_failures: Sequence[ComponentFailure] = (),
         component_model: Optional[ComponentFailureModel] = None,
+        controller: "ClusterController | str | None" = None,
+        economics: Optional[EconomicsConfig] = None,
     ) -> None:
         self.pools = pools
         require_kv_headroom(pools.decode, "decode")  # fail fast, before run()
@@ -345,8 +462,14 @@ class ServingSimulator:
         self._policy_spec = policies
         self.topology = topology
         self.network_model = network_model
+        self.controller = get_controller(controller)
+        self.economics = economics or EconomicsConfig()
+        self.last_economics: Optional[EconomicsReport] = None
+        shapes, self._spawn_limits = _elastic_shapes(
+            pools.pool_shapes(), self.controller, topology, placer
+        )
         self.placement = _network_setup(
-            topology, placer, network_model, pools.pool_shapes(),
+            topology, placer, network_model, shapes,
             component_failures, component_model,
         )
         all_failures = list(failures)
@@ -366,7 +489,15 @@ class ServingSimulator:
                 horizon, failure_seed,
             )
         self.failures = _validate_failures(
-            all_failures, {"prefill": pools.n_prefill, "decode": pools.n_decode}
+            all_failures,
+            {
+                "prefill": _failure_limit(
+                    self._spawn_limits, self.controller, "prefill", pools.n_prefill
+                ),
+                "decode": _failure_limit(
+                    self._spawn_limits, self.controller, "decode", pools.n_decode
+                ),
+            },
         )
         self.prefill_provider = _make_provider(
             pools.prefill, self.config, network_model, topology, self.placement, "prefill"
@@ -380,6 +511,8 @@ class ServingSimulator:
 
         >>> # see examples/splitwise_serving.py for an end-to-end run
         """
+        self.prefill_provider.set_frequency(1.0)
+        self.decode_provider.set_frequency(1.0)
         engine = PhaseSplitEngine(
             self.pools,
             self.config,
@@ -387,9 +520,13 @@ class ServingSimulator:
             self.prefill_provider,
             self.decode_provider,
             self.failures,
+            # A private copy per run: controllers keep hysteresis state.
+            controller=copy.deepcopy(self.controller),
+            power_curve=self.economics.curve,
+            spawn_limits=self._spawn_limits,
         )
         engine.run(trace)
-        return _build_report(
+        report = _build_report(
             engine.completed,
             trace,
             engine.work_time,
@@ -398,6 +535,18 @@ class ServingSimulator:
             engine.requeued,
             len(engine.restarts),
         )
+        pool_rollups = (
+            pool_economics(
+                "prefill", self.pools.prefill, engine.prefill_states,
+                report.duration, self.economics,
+            ),
+            pool_economics(
+                "decode", self.pools.decode, engine.decode_states,
+                report.duration, self.economics,
+            ),
+        )
+        report, self.last_economics = _attach_economics(report, engine, pool_rollups)
+        return report
 
 
 class ColocatedSimulator:
@@ -407,7 +556,9 @@ class ColocatedSimulator:
     ``prefill_utilization`` and ``decode_utilization`` are both the pool's
     busy fraction (there is only one pool).  The topology co-simulation
     knobs (``topology``/``placer``/``network_model``/component failures)
-    behave exactly as on :class:`ServingSimulator`.
+    and the elastic knobs (``controller``/``economics``) behave exactly as
+    on :class:`ServingSimulator`; controllers scale the single
+    ``"colocated"`` pool.
     """
 
     def __init__(
@@ -424,6 +575,8 @@ class ColocatedSimulator:
         network_model: str = "none",
         component_failures: Sequence[ComponentFailure] = (),
         component_model: Optional[ComponentFailureModel] = None,
+        controller: "ClusterController | str | None" = None,
+        economics: Optional[EconomicsConfig] = None,
     ) -> None:
         self.pool = pool
         self.config = config or SimConfig()
@@ -431,8 +584,14 @@ class ColocatedSimulator:
         require_kv_headroom(pool.instance, "colocated")  # fail fast, before run()
         self.topology = topology
         self.network_model = network_model
+        self.controller = get_controller(controller)
+        self.economics = economics or EconomicsConfig()
+        self.last_economics: Optional[EconomicsReport] = None
+        shapes, self._spawn_limits = _elastic_shapes(
+            pool.pool_shapes(), self.controller, topology, placer
+        )
         self.placement = _network_setup(
-            topology, placer, network_model, pool.pool_shapes(),
+            topology, placer, network_model, shapes,
             component_failures, component_model,
         )
         all_failures = list(failures)
@@ -447,23 +606,40 @@ class ColocatedSimulator:
                 topology, self.placement, component_failures, component_model,
                 horizon, failure_seed,
             )
-        self.failures = _validate_failures(all_failures, {"colocated": pool.n_instances})
+        self.failures = _validate_failures(
+            all_failures,
+            {
+                "colocated": _failure_limit(
+                    self._spawn_limits, self.controller, "colocated", pool.n_instances
+                )
+            },
+        )
         self.provider = _make_provider(
             pool.instance, self.config, network_model, topology, self.placement, "colocated"
         )
 
     def run(self, trace: Sequence[Request]) -> SimReport:
         """Simulate the trace to completion (or the time horizon)."""
+        self.provider.set_frequency(1.0)
         engine = ColocatedEngine(
             self.pool,
             self.config,
             get_policy_bundle(self._policy_spec),
             self.provider,
             self.failures,
+            controller=copy.deepcopy(self.controller),
+            power_curve=self.economics.curve,
+            spawn_limits=self._spawn_limits,
         )
         engine.run(trace)
         busy = [s.busy_time for s in engine.states]
-        return _build_report(
+        report = _build_report(
             engine.completed, trace, engine.work_time, busy, busy,
             engine.requeued, len(engine.restarts),
         )
+        rollup = pool_economics(
+            "colocated", self.pool.instance, engine.states,
+            report.duration, self.economics,
+        )
+        report, self.last_economics = _attach_economics(report, engine, (rollup,))
+        return report

@@ -161,6 +161,18 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
 
+    def size_bytes(self) -> int:
+        """Total on-disk size of every record (for the ``repro cache`` CLI)."""
+        if not self.root.exists():
+            return 0
+        total = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:  # pragma: no cover - racing cleaner
+                pass
+        return total
+
     def clear(self) -> int:
         """Delete every record; returns how many were removed."""
         removed = 0

@@ -75,6 +75,32 @@ class DVFSCurve:
         c = max(clock_ratio, self.min_clock_ratio)
         return self.static_fraction + (1.0 - self.static_fraction) * c**self.exponent
 
+    def clock_for_power(self, power_fraction: float) -> float:
+        """Largest clock ratio whose power fits ``power_fraction`` of TDP.
+
+        The inverse of :meth:`power_ratio` over the DVFS range: returns a
+        clock in ``[min_clock_ratio, 1]`` when the budget is reachable and
+        ``0.0`` when even the DVFS floor exceeds it (the caller must then
+        power-gate devices instead — exactly the granularity trade the
+        power-cap controller makes).
+
+        >>> curve = DVFSCurve()
+        >>> curve.clock_for_power(1.0)
+        1.0
+        >>> curve.clock_for_power(0.0)
+        0.0
+        """
+        if power_fraction < 0:
+            raise SpecError("power_fraction must be non-negative")
+        if power_fraction >= self.power_ratio(1.0):
+            return 1.0
+        if power_fraction < self.power_ratio(self.min_clock_ratio):
+            return 0.0
+        clock = (
+            (power_fraction - self.static_fraction) / (1.0 - self.static_fraction)
+        ) ** (1.0 / self.exponent)
+        return min(1.0, max(self.min_clock_ratio, clock))
+
     def clock_for_throughput(self, throughput_ratio: float) -> float:
         """Clock ratio needed for ``throughput_ratio`` of base throughput
         (throughput assumed linear in clock, compute-bound)."""

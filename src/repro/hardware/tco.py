@@ -18,7 +18,9 @@ numbers (PUE 1.25, $0.08/kWh, 4-year life).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
+from functools import lru_cache
 
 from ..cluster.spec import ClusterSpec
 from ..errors import SpecError
@@ -119,6 +121,40 @@ def cluster_tco(
         power_opex=power_per_hour,
         maintenance_opex=maintenance_per_hour,
     )
+
+
+@lru_cache(maxsize=256)
+def gpu_hour_rate(
+    gpu,
+    n_gpus: int,
+    assumptions: TCOAssumptions | None = None,
+    topology_kind: str = "circuit",
+    group: int = 4,
+    include_power: bool = False,
+) -> float:
+    """Amortized USD per GPU-hour of a cluster of ``n_gpus`` of ``gpu``.
+
+    The serving simulator's economics bridge: multiply by the gpu-hours a
+    deployment actually *held* (elastic pools hold fewer in the lulls) to
+    get its amortized capital cost.  By default the rate covers capex
+    (GPU + fabric + facility) and maintenance only — energy is charged
+    separately from the simulated joules, so a throttled or drained
+    cluster pays less.  ``include_power=True`` folds the TCO model's
+    utilization-assumption power back in instead (the static view).
+
+    >>> from repro.hardware.gpu import H100
+    >>> gpu_hour_rate(H100, 8) > 0
+    True
+    """
+    assumptions = assumptions or TCOAssumptions()
+    n = max(2, int(n_gpus))  # every fabric model needs at least two endpoints
+    if topology_kind == "direct":
+        n = math.ceil(n / group) * group
+    breakdown = cluster_tco(ClusterSpec(gpu, n, topology_kind, group), assumptions)
+    per_hour = breakdown.capex_per_hour + breakdown.maintenance_opex
+    if include_power:
+        per_hour += breakdown.power_opex
+    return per_hour / n
 
 
 def tokens_per_dollar_comparison(

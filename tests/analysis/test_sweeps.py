@@ -175,3 +175,37 @@ class TestCacheKeyStability:
         # The fingerprint must not contain a '0x...' address from a repr'd
         # nested code object.
         assert "0x" not in a
+
+
+class TestParetoFront:
+    def records(self):
+        return [
+            {"name": "cheap-bad", "cost": 1.0, "quality": 1.0},
+            {"name": "mid", "cost": 2.0, "quality": 3.0},
+            {"name": "dominated", "cost": 3.0, "quality": 2.0},
+            {"name": "dear-good", "cost": 5.0, "quality": 5.0},
+        ]
+
+    def test_front_drops_dominated(self):
+        from repro.analysis.sweeps import pareto_front
+
+        front = pareto_front(
+            self.records(), cost=lambda r: r["cost"], quality=lambda r: r["quality"]
+        )
+        assert [r["name"] for r in front] == ["cheap-bad", "mid", "dear-good"]
+
+    def test_errored_records_skipped(self):
+        from repro.analysis.sweeps import pareto_front
+
+        records = self.records() + [{"name": "broken", "error": "boom"}]
+        front = pareto_front(
+            records, cost=lambda r: r["cost"], quality=lambda r: r["quality"]
+        )
+        assert all("error" not in r for r in front)
+
+    def test_duplicates_all_survive(self):
+        from repro.analysis.sweeps import pareto_front
+
+        records = [{"cost": 1.0, "quality": 1.0}, {"cost": 1.0, "quality": 1.0}]
+        front = pareto_front(records, lambda r: r["cost"], lambda r: r["quality"])
+        assert len(front) == 2

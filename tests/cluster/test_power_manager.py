@@ -92,3 +92,50 @@ class TestGranularityGain:
         small_fleet = granularity_gain(H100, LITE, loads, 900.0, big_count=2)
         large_fleet = granularity_gain(H100, LITE, loads, 900.0, big_count=64)
         assert small_fleet > large_fleet
+
+
+class TestCapClock:
+    def test_generous_cap_is_full_clock(self):
+        from repro.cluster.power_manager import ClusterPowerManager
+        from repro.hardware.gpu import LITE
+
+        manager = ClusterPowerManager(LITE, 16)
+        assert manager.cap_clock(16 * LITE.tdp) == 1.0
+
+    def test_tight_cap_throttles(self):
+        from repro.cluster.power_manager import ClusterPowerManager
+        from repro.hardware.gpu import LITE
+
+        manager = ClusterPowerManager(LITE, 16)
+        clock = manager.cap_clock(16 * LITE.tdp * 0.6)
+        assert 0.0 < clock < 1.0
+        assert 16 * LITE.tdp * manager.curve.power_ratio(clock) <= 16 * LITE.tdp * 0.6 + 1e-9
+
+    def test_impossible_cap_signals_gating(self):
+        from repro.cluster.power_manager import ClusterPowerManager
+        from repro.hardware.gpu import LITE
+
+        manager = ClusterPowerManager(LITE, 16)
+        floor = manager.curve.power_ratio(manager.curve.min_clock_ratio)
+        assert manager.cap_clock(16 * LITE.tdp * floor * 0.5) == 0.0
+
+    def test_active_subset(self):
+        from repro.cluster.power_manager import ClusterPowerManager
+        from repro.hardware.gpu import LITE
+
+        manager = ClusterPowerManager(LITE, 16)
+        # The same wattage goes further when only half the fleet is active.
+        assert manager.cap_clock(8 * LITE.tdp, active=8) == 1.0
+
+    def test_validation(self):
+        import pytest
+
+        from repro.cluster.power_manager import ClusterPowerManager
+        from repro.errors import SpecError
+        from repro.hardware.gpu import LITE
+
+        manager = ClusterPowerManager(LITE, 16)
+        with pytest.raises(SpecError):
+            manager.cap_clock(0.0)
+        with pytest.raises(SpecError):
+            manager.cap_clock(100.0, active=0)

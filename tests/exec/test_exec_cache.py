@@ -118,3 +118,23 @@ class TestTopologyKeySeparation:
         assert len({bare, with_packed, with_scattered, other_fabric}) == 4
         # Deterministic: the same spec always derives the same seed.
         assert with_packed == derive_seed(7, "components", direct, packed)
+
+
+class TestSizeBytes:
+    def test_empty_and_missing_root(self, tmp_path):
+        from repro.exec.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "nowhere")
+        assert cache.size_bytes() == 0
+
+    def test_size_grows_with_records(self, tmp_path):
+        from repro.exec.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "c")
+        cache.put(cache.key("a"), {"x": 1})
+        one = cache.size_bytes()
+        assert one > 0
+        cache.put(cache.key("b"), {"y": list(range(100))})
+        assert cache.size_bytes() > one
+        cache.clear()
+        assert cache.size_bytes() == 0

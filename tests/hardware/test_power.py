@@ -149,3 +149,37 @@ class TestProperties:
         gate_dvfs = model.power_at_load(load, ClockPolicy.GATE_PLUS_DVFS)
         assert gate_dvfs <= gate + 1e-9
         assert gate <= base + 1e-9
+
+
+class TestClockForPower:
+    def test_inverse_of_power_ratio(self):
+        from repro.hardware.power import DVFSCurve
+
+        curve = DVFSCurve()
+        for budget in (0.5, 0.7, 0.9):
+            clock = curve.clock_for_power(budget)
+            assert curve.min_clock_ratio <= clock <= 1.0
+            assert curve.power_ratio(clock) <= budget + 1e-12
+
+    def test_full_budget_is_full_clock(self):
+        from repro.hardware.power import DVFSCurve
+
+        assert DVFSCurve().clock_for_power(1.0) == 1.0
+        assert DVFSCurve().clock_for_power(2.0) == 1.0
+
+    def test_unreachable_budget_is_zero(self):
+        from repro.hardware.power import DVFSCurve
+
+        curve = DVFSCurve()
+        floor = curve.power_ratio(curve.min_clock_ratio)
+        assert curve.clock_for_power(floor * 0.5) == 0.0
+        assert curve.clock_for_power(0.0) == 0.0
+
+    def test_negative_budget_rejected(self):
+        import pytest
+
+        from repro.errors import SpecError
+        from repro.hardware.power import DVFSCurve
+
+        with pytest.raises(SpecError):
+            DVFSCurve().clock_for_power(-0.1)

@@ -87,3 +87,38 @@ class TestPaperBottomLine:
         )
         assert comparison["lite_saving"] > 0.0
         assert comparison["lite_usd_per_mtoken"] < comparison["h100_usd_per_mtoken"]
+
+
+class TestGpuHourRate:
+    def test_positive_and_scale_stable(self):
+        from repro.hardware.gpu import H100
+        from repro.hardware.tco import gpu_hour_rate
+
+        small = gpu_hour_rate(H100, 8)
+        large = gpu_hour_rate(H100, 64)
+        assert small > 0 and large > 0
+        # Per-GPU rates are roughly scale-free (fabric share shifts a bit).
+        assert 0.5 < small / large < 2.0
+
+    def test_power_inclusion_raises_rate(self):
+        from repro.hardware.gpu import H100
+        from repro.hardware.tco import gpu_hour_rate
+
+        without = gpu_hour_rate(H100, 8)
+        with_power = gpu_hour_rate(H100, 8, include_power=True)
+        assert with_power > without
+
+    def test_direct_topology_rounds_to_group(self):
+        from repro.hardware.gpu import LITE
+        from repro.hardware.tco import gpu_hour_rate
+
+        # 5 GPUs on a direct fabric price as ceil(5/4)*4 = 8 endpoints.
+        assert gpu_hour_rate(LITE, 5, None, "direct", 4) > 0
+
+    def test_assumptions_flow_through(self):
+        from repro.hardware.gpu import H100
+        from repro.hardware.tco import TCOAssumptions, gpu_hour_rate
+
+        short = gpu_hour_rate(H100, 8, TCOAssumptions(amortization_years=2.0))
+        long = gpu_hour_rate(H100, 8, TCOAssumptions(amortization_years=8.0))
+        assert short > long  # faster amortization = higher hourly rate

@@ -15,9 +15,12 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in ("table1", "fig1", "fig2", "fig3a", "fig3b", "report",
-                        "search", "tco", "simulate", "sweep", "topology"):
+                        "search", "tco", "simulate", "sweep", "topology",
+                        "autoscale"):
             args = parser.parse_args([command])
             assert callable(args.fn)
+        # `cache` needs its positional action.
+        assert callable(parser.parse_args(["cache", "stats"]).fn)
 
 
 class TestCommands:
@@ -201,3 +204,74 @@ class TestSweepTopologyCacheSeparation:
             tmp_path, "--topology", "circuit", "--network-model", "fabric",
         )) == 0
         assert "1 hits" in capsys.readouterr().out
+
+
+class TestAutoscaleCommand:
+    def _argv(self, *extra):
+        return [
+            "autoscale", "--rates", "1,8,1", "--segment", "20",
+            "--epoch", "4", "--warmup", "8", *extra,
+        ]
+
+    def test_compares_controllers_and_prints_verdict(self, capsys):
+        assert main(self._argv()) == 0
+        out = capsys.readouterr().out
+        assert "Static vs elastic provisioning" in out
+        assert "$/Mtok" in out and "gpu-s" in out
+        assert "static" in out and "reactive" in out and "slo" in out
+        assert "cheapest at P99-TTFT" in out
+
+    def test_forecast_controller(self, capsys):
+        assert main(self._argv("--controllers", "static,forecast")) == 0
+        assert "forecast" in capsys.readouterr().out
+
+    def test_power_cap_requires_cap_window(self, capsys):
+        assert main(self._argv("--controllers", "power_cap")) == 2
+        assert "--cap" in capsys.readouterr().err
+
+    def test_malformed_cap_is_clean_error(self, capsys):
+        assert main(self._argv(
+            "--controllers", "power_cap", "--cap", "20:40",
+        )) == 2
+        assert "start:end:watts" in capsys.readouterr().err
+
+    def test_power_cap_with_window(self, capsys):
+        assert main(self._argv(
+            "--controllers", "static,power_cap", "--cap", "20:40:2000",
+        )) == 0
+        assert "power_cap" in capsys.readouterr().out
+
+    def test_unknown_controller_is_clean_error(self, capsys):
+        assert main(self._argv("--controllers", "nope")) == 2
+        assert "unknown controller" in capsys.readouterr().err
+
+    def test_single_rate_is_an_error(self, capsys):
+        assert main(["autoscale", "--rates", "2"]) == 2
+        assert "at least two segments" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_cache(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "0 record(s)" in out and "0 B" in out
+
+    def test_stats_reports_entries_and_size(self, capsys, tmp_path):
+        from repro.exec.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "c")
+        cache.put(cache.key("demo", 1), {"x": 1})
+        cache.put(cache.key("demo", 2), {"y": [1, 2, 3]})
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "2 record(s)" in out
+        assert "0 B" not in out  # a real size is reported
+
+    def test_clear_removes_records(self, capsys, tmp_path):
+        from repro.exec.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "c")
+        cache.put(cache.key("demo", 1), {"x": 1})
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path / "c")]) == 0
+        assert "cleared 1 record(s)" in capsys.readouterr().out
+        assert cache.entries() == 0

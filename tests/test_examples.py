@@ -1,0 +1,43 @@
+"""Every script under ``examples/`` must run — examples cannot silently rot.
+
+Each example is executed in a subprocess with ``REPRO_EXAMPLE_TINY=1``, the
+shared env knob that shrinks traces/horizons so the whole sweep stays fast.
+A new example is picked up automatically by the glob; an example that
+raises, exits non-zero, or prints nothing fails CI.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 11  # the known set; new examples only add to it
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path: Path):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_TINY"] = "1"
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        cwd=ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, (
+        f"{path.name} exited {proc.returncode}\n"
+        f"stdout:\n{proc.stdout[-2000:]}\nstderr:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{path.name} printed nothing"

@@ -110,3 +110,42 @@ class TestProperties:
     def test_all_lengths_positive(self, rate, duration, seed):
         trace = generate_trace(TraceConfig(rate=rate, duration=duration), seed=seed)
         assert all(r.prompt_tokens >= 1 and r.output_tokens >= 1 for r in trace)
+
+
+class TestPiecewiseTrace:
+    def test_segments_concatenate_in_time(self):
+        from repro.workloads.traces import generate_piecewise_trace
+
+        trace = generate_piecewise_trace([(2.0, 10.0), (8.0, 10.0)], seed=1)
+        assert all(r.arrival <= 20.0 for r in trace)
+        first = [r for r in trace if r.arrival <= 10.0]
+        second = [r for r in trace if r.arrival > 10.0]
+        assert len(second) > 2 * len(first)  # the burst is visibly denser
+        # Fresh contiguous ids, arrival-ordered (simulator requirements).
+        assert [r.request_id for r in trace] == list(range(len(trace)))
+        assert all(a.arrival <= b.arrival for a, b in zip(trace, trace[1:]))
+
+    def test_base_config_shapes_are_inherited(self):
+        from repro.workloads.traces import TraceConfig, generate_piecewise_trace
+
+        base = TraceConfig(prompt_tokens=700, output_tokens=50)
+        trace = generate_piecewise_trace([(2.0, 5.0), (2.0, 5.0)], base, seed=0)
+        assert all(r.prompt_tokens == 700 for r in trace)
+
+    def test_deterministic_and_seed_sensitive(self):
+        from repro.workloads.traces import generate_piecewise_trace
+
+        a = generate_piecewise_trace([(2.0, 5.0), (4.0, 5.0)], seed=3)
+        b = generate_piecewise_trace([(2.0, 5.0), (4.0, 5.0)], seed=3)
+        c = generate_piecewise_trace([(2.0, 5.0), (4.0, 5.0)], seed=4)
+        assert a == b
+        assert a != c
+
+    def test_empty_segments_rejected(self):
+        import pytest
+
+        from repro.errors import SpecError
+        from repro.workloads.traces import generate_piecewise_trace
+
+        with pytest.raises(SpecError):
+            generate_piecewise_trace([])

@@ -1,0 +1,158 @@
+"""Scale benchmark: constant-memory streaming vs exact at large request counts.
+
+The engine scale-out claim, measured: a trace generated lazily
+(:func:`iter_trace`), fed to the engine one arrival ahead of the clock, and
+folded into quantile sketches (``metrics="streaming"``) must simulate large
+request counts with **flat** peak memory — while the exact path's footprint
+grows linearly with the trace (one ``CompletedRequest`` plus latency floats
+per request).  Three asserted quantities:
+
+1. **Requests/second** — a throughput floor on the streaming path (timed
+   without tracemalloc, which roughly doubles allocation costs).
+2. **Peak traced memory** — ``tracemalloc`` peaks for streaming vs exact on
+   the *same* trace; the ratio floor scales with the trace (≥10x at 500k+
+   requests, where the exact path's linear term dominates; a looser floor
+   at the small default so tier-1 stays fast).
+3. **Accuracy** — streaming TTFT p50/p99 within 1% relative error of the
+   exact percentiles (the acceptance bar).
+
+``REPRO_SCALE_REQUESTS`` picks the trace size (default 12k — tier-1
+friendly).  The committed ``BENCH_scale.json`` was generated once at
+1,000,000 requests (``REPRO_SCALE_REQUESTS=1000000``); re-running at the
+default scale records a separate section and leaves the 1M evidence alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.cluster.scheduler import ColocatedPool, InstanceSpec
+from repro.cluster.simulator import ColocatedSimulator, SimConfig
+from repro.hardware.gpu import H100
+from repro.workloads.models import LLAMA3_8B
+from repro.workloads.traces import TraceConfig, iter_trace
+
+from conftest import emit
+
+ARTIFACT = Path(__file__).parent / "BENCH_scale.json"
+
+#: Arrival rate of the scale trace: high enough that decode batches stay
+#: full (the engine's per-iteration cost amortizes over the batch).
+RATE = 400.0
+#: Lazy-generation window: ~2k requests of trace state resident at a time.
+WINDOW = 5.0
+
+N_REQUESTS = int(os.environ.get("REPRO_SCALE_REQUESTS", "12000"))
+
+
+def _trace_config() -> TraceConfig:
+    return TraceConfig(
+        rate=RATE,
+        duration=N_REQUESTS / RATE,
+        output_tokens=32,
+        output_spread=0.3,
+    )
+
+
+def _pool() -> ColocatedPool:
+    return ColocatedPool(
+        instance=InstanceSpec(LLAMA3_8B, H100, 1),
+        n_instances=8,
+        max_decode_batch=256,
+    )
+
+
+def _sim_config(metrics: str) -> SimConfig:
+    return SimConfig(max_sim_time=N_REQUESTS / RATE + 300.0, metrics=metrics)
+
+
+def _lazy_trace():
+    return iter_trace(_trace_config(), seed=0, window=WINDOW)
+
+
+def _record_artifact(section: str, payload: dict) -> None:
+    record = {}
+    if ARTIFACT.exists():
+        try:
+            record = json.loads(ARTIFACT.read_text())
+        except (OSError, ValueError):
+            record = {}
+    record[section] = payload
+    ARTIFACT.write_text(json.dumps(record, indent=2, sort_keys=True))
+
+
+def _rel(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(b), 1e-12)
+
+
+def test_streaming_scale(benchmark):
+    def run():
+        # Timed streaming run: lazy trace, sketch metrics, no tracer.
+        start = time.perf_counter()
+        stream = ColocatedSimulator(_pool(), _sim_config("streaming")).run(_lazy_trace())
+        t_stream = time.perf_counter() - start
+        # Traced streaming run: same simulation under tracemalloc.
+        tracemalloc.start()
+        ColocatedSimulator(_pool(), _sim_config("streaming")).run(_lazy_trace())
+        _, peak_stream = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # Traced exact run: the same requests, materialized (the exact path
+        # needs the whole list anyway — that *is* its footprint).
+        tracemalloc.start()
+        exact = ColocatedSimulator(_pool(), _sim_config("exact")).run(list(_lazy_trace()))
+        _, peak_exact = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return stream, t_stream, peak_stream, exact, peak_exact
+
+    stream, t_stream, peak_stream, exact, peak_exact = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    req_per_s = stream.completed / t_stream
+    ratio = peak_exact / peak_stream
+    ttft_p50_err = _rel(stream.ttft_p50, exact.ttft_p50)
+    ttft_p99_err = _rel(stream.ttft_p99, exact.ttft_p99)
+
+    relaxed = bool(os.environ.get("CI"))
+    rps_floor = 500.0 if relaxed else 2000.0
+    # The exact path's linear term needs requests to dominate its fixed
+    # costs: the 10x memory bar applies at scale, a conservative floor below.
+    ratio_floor = 10.0 if N_REQUESTS >= 500_000 else 2.5
+
+    emit(
+        f"Streaming scale: {stream.completed} requests, sketches vs exact",
+        f"throughput: {req_per_s:,.0f} simulated req/s "
+        f"({t_stream:.1f}s wall, floor {rps_floor:,.0f})\n"
+        f"peak memory: streaming {peak_stream / 1e6:.1f} MB, "
+        f"exact {peak_exact / 1e6:.1f} MB ({ratio:.1f}x, floor {ratio_floor:g}x)\n"
+        f"TTFT error: p50 {ttft_p50_err:.3%}, p99 {ttft_p99_err:.3%} (bar 1%)",
+    )
+    _record_artifact(
+        "scale_1m" if N_REQUESTS >= 1_000_000 else "scale_default",
+        {
+            "requests": stream.completed,
+            "streaming_wall_s": t_stream,
+            "requests_per_s": req_per_s,
+            "rps_floor": rps_floor,
+            "streaming_peak_bytes": peak_stream,
+            "exact_peak_bytes": peak_exact,
+            "memory_ratio": ratio,
+            "ratio_floor": ratio_floor,
+            "ttft_p50_rel_err": ttft_p50_err,
+            "ttft_p99_rel_err": ttft_p99_err,
+            "under_1gib": peak_stream < 2**30,
+        },
+    )
+    # Same trace, same engine events: the counters must agree exactly.
+    assert stream.completed == exact.completed
+    assert stream.dropped == exact.dropped == 0
+    assert stream.output_tokens_per_s == exact.output_tokens_per_s
+    # The acceptance bars.
+    assert peak_stream < 2**30, f"streaming peak {peak_stream / 1e6:.0f} MB >= 1 GiB"
+    assert ratio >= ratio_floor, f"memory ratio {ratio:.1f}x < {ratio_floor:g}x"
+    assert req_per_s >= rps_floor, f"{req_per_s:,.0f} req/s < floor {rps_floor:,.0f}"
+    assert ttft_p50_err <= 0.01, f"TTFT p50 error {ttft_p50_err:.3%} > 1%"
+    assert ttft_p99_err <= 0.01, f"TTFT p99 error {ttft_p99_err:.3%} > 1%"

@@ -30,7 +30,7 @@ from pathlib import Path
 
 from repro.cluster.scheduler import ColocatedPool, InstanceSpec, PhasePools
 from repro.cluster.simulator import ColocatedSimulator, ServingSimulator, SimConfig
-from repro.exec.runner import Job, run_many
+from repro.exec.runner import Job, effective_workers, run_many
 from repro.hardware.gpu import H100
 from repro.workloads.models import LLAMA3_8B
 from repro.workloads.traces import TraceConfig, generate_trace
@@ -96,14 +96,19 @@ def test_parallel_sweep_speedup(benchmark):
         return serial, t_serial, parallel, t_parallel
 
     serial, t_serial, parallel, t_parallel = benchmark.pedantic(run, rounds=1, iterations=1)
-    speedup = t_serial / t_parallel
     cores = _available_cores()
+    effective = effective_workers(4)
+    # With one effective worker, run_many's clamp routes the "parallel" call
+    # through the identical serial path — there is no pool to measure, so the
+    # artifact records an exact 1.0x instead of wall-clock noise masquerading
+    # as a sub-1.0x "speedup" (the regression this clamp fixes).
+    speedup = 1.0 if effective == 1 else t_serial / t_parallel
     # The wall-clock bar honestly tracks the hardware: a pool cannot beat
     # one core, and shared CI runners get slack for scheduler noise.
     relaxed = bool(os.environ.get("CI"))
-    if cores >= 4:
+    if effective >= 4:
         floor = 1.5 if relaxed else 2.0
-    elif cores >= 2:
+    elif effective >= 2:
         floor = 1.05 if relaxed else 1.2
     else:
         floor = None
@@ -112,15 +117,17 @@ def test_parallel_sweep_speedup(benchmark):
         f"points:   {len(serial)} (all completed: "
         f"{all(o.ok and o.value.completed > 0 for o in serial)})\n"
         f"serial:   {t_serial:.2f}s wall\n"
-        f"4-worker: {t_parallel:.2f}s wall\n"
+        f"4-worker: {t_parallel:.2f}s wall ({effective} effective worker(s))\n"
         f"speedup:  {speedup:.2f}x on {cores} core(s)"
-        + ("" if floor else " — below 2 cores only bit-identity is asserted"),
+        + ("" if floor else " — serial fallback, only bit-identity is asserted"),
     )
     _record_artifact(
         "parallel_sweep",
         {
             "points": len(serial),
             "workers": 4,
+            "effective_workers": effective,
+            "serial_fallback": effective == 1,
             "serial_s": t_serial,
             "parallel_s": t_parallel,
             "speedup": speedup,
@@ -130,8 +137,9 @@ def test_parallel_sweep_speedup(benchmark):
     # Determinism is asserted unconditionally: fan-out must be bit-exact.
     assert all(o.ok for o in serial) and all(o.ok for o in parallel)
     assert [o.value for o in serial] == [o.value for o in parallel]
+    assert speedup >= 1.0 or floor is not None
     if floor is not None:
-        assert speedup >= floor, f"expected >={floor}x on {cores} cores, got {speedup:.2f}x"
+        assert speedup >= floor, f"expected >={floor}x on {effective} workers, got {speedup:.2f}x"
 
 
 # The exact scenario of benchmarks/test_perf_simulator.py: a 10-minute

@@ -5,6 +5,8 @@
   dependencies; benches print the same rows the paper's figures encode).
 - :mod:`repro.analysis.sweeps` — parameter-sweep utilities for ablations.
 - :mod:`repro.analysis.report` — textual experiment reports.
+- :mod:`repro.analysis.streaming` — constant-memory metric accumulators
+  (quantile sketches, reservoirs) behind ``SimConfig(metrics="streaming")``.
 """
 
 from .figures import (
@@ -17,8 +19,12 @@ from .figures import (
 from .tables import format_table, table1_rows
 from .sweeps import sweep_1d, sweep_grid
 from .report import experiment_report
+from .streaming import QuantileSketch, ReservoirSampler, StreamingMetrics
 
 __all__ = [
+    "QuantileSketch",
+    "ReservoirSampler",
+    "StreamingMetrics",
     "fig1_evolution_series",
     "fig2_deployment_comparison",
     "fig3_series",

@@ -47,7 +47,7 @@ from .cluster.control import (
 )
 from .cluster.failures import FailureModel
 from .cluster.placement import PLACERS, placement_hop_stats
-from .cluster.policies import POLICY_BUNDLES
+from .cluster.policies import POLICY_BUNDLES, ROUTING_POLICIES
 from .cluster.power_manager import ClusterPowerManager
 from .cluster.scheduler import ColocatedPool, InstanceSpec, PhasePools
 from .cluster.simulator import ColocatedSimulator, ServingSimulator, SimConfig
@@ -57,6 +57,7 @@ from .core.search import search_best_config
 from .errors import LiteGPUError, SimulationError
 from .exec.cache import ResultCache
 from .exec.runner import Job, run_many
+from .exec.sharding import run_sharded
 from .hardware.gpu import H100, get_gpu
 from .hardware.tco import tokens_per_dollar_comparison
 from .network.fabric import compare_fabrics
@@ -222,7 +223,11 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
         ),
         seed=args.seed,
     )
-    config = SimConfig(max_sim_time=args.max_sim_time, context_bucket=args.context_bucket)
+    config = SimConfig(
+        max_sim_time=args.max_sim_time,
+        context_bucket=args.context_bucket,
+        metrics=args.metrics,
+    )
     failure_model = None
     if args.mtbf_hours > 0:
         failure_model = FailureModel(mtbf=args.mtbf_hours * HOUR, mttr=args.mttr_hours * HOUR)
@@ -245,21 +250,45 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
         )
         simulator_cls = ColocatedSimulator
     description = deployment.describe()
-    topology = _build_topology(
-        args.topology, args.cluster_gpus or deployment.total_gpus, args.group
-    )
-    simulator = simulator_cls(
-        deployment, config,
-        policies=args.policy, failure_model=failure_model, failure_seed=args.failure_seed,
-        topology=topology, placer=args.placer, network_model=args.network_model,
-    )
-    report = simulator.run(trace)
+    if args.shards > 1:
+        # Sharded execution factors the run into independent sub-engines —
+        # whole-cluster co-simulation (a shared fabric) cannot be split.
+        if args.topology != "none":
+            raise SimulationError("--shards cannot be combined with --topology")
+        report = run_sharded(
+            deployment,
+            trace,
+            config,
+            shards=args.shards,
+            policies=args.policy,
+            failure_model=failure_model,
+            failure_seed=args.failure_seed,
+            shard_policy=args.shard_policy,
+            workers=args.workers,
+        )
+        topology = None
+        simulator = None
+    else:
+        topology = _build_topology(
+            args.topology, args.cluster_gpus or deployment.total_gpus, args.group
+        )
+        simulator = simulator_cls(
+            deployment, config,
+            policies=args.policy, failure_model=failure_model, failure_seed=args.failure_seed,
+            topology=topology, placer=args.placer, network_model=args.network_model,
+        )
+        report = simulator.run(trace)
     failure_note = (
         f"stochastic failures MTBF {args.mtbf_hours:g}h / MTTR {args.mttr_hours:g}h "
         f"(seed {args.failure_seed})" if failure_model else "no failures"
     )
     print(f"{description}")
     print(f"policy '{args.policy}', trace {len(trace)} requests @ {args.rate:g}/s, {failure_note}")
+    if args.shards > 1:
+        print(
+            f"sharded x{args.shards} ('{args.shard_policy}' shard routing, "
+            f"{args.workers} worker(s), streaming metrics)"
+        )
     if topology is not None:
         stats = placement_hop_stats(topology, simulator.placement)
         print(
@@ -286,6 +315,7 @@ def _sweep_point(
     policy: str,
     max_sim_time: float,
     context_bucket: int,
+    metrics: str,
     topology_kind: str,
     cluster_gpus: int,
     group: int,
@@ -303,7 +333,9 @@ def _sweep_point(
     """
     trace = generate_trace(trace_config, seed=trace_seed)
     model = get_model(model_name)
-    config = SimConfig(max_sim_time=max_sim_time, context_bucket=context_bucket)
+    config = SimConfig(
+        max_sim_time=max_sim_time, context_bucket=context_bucket, metrics=metrics
+    )
     if shape == "phase-split":
         deployment = PhasePools(
             prefill=InstanceSpec(model, get_gpu(prefill_gpu), gpus_per_instance),
@@ -355,7 +387,7 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
                 args.shape, args.model, args.prefill_gpu, args.decode_gpu, args.gpu,
                 args.gpus_per_instance, args.n_prefill, size,
                 args.max_prefill_batch, args.max_decode_batch, args.chunk_tokens,
-                args.policy, args.max_sim_time, args.context_bucket,
+                args.policy, args.max_sim_time, args.context_bucket, args.metrics,
                 args.topology, args.cluster_gpus, args.group,
                 args.placer, args.network_model,
             )
@@ -584,6 +616,16 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--max-sim-time", type=float, default=600.0)
     simulate.add_argument("--context-bucket", type=int, default=1,
                           help="service-time cache granularity (1 = exact)")
+    simulate.add_argument("--metrics", default="exact", choices=("exact", "streaming"),
+                          help="exact per-request metrics, or constant-memory sketches")
+    simulate.add_argument("--shards", type=int, default=1,
+                          help="split the run into N independent engine shards (>1 "
+                               "implies streaming metrics; excludes --topology)")
+    simulate.add_argument("--shard-policy", default="least-loaded",
+                          choices=sorted(ROUTING_POLICIES.names()),
+                          help="routing policy assigning requests to shards")
+    simulate.add_argument("--workers", type=int, default=1,
+                          help="process pool width for sharded runs")
     simulate.add_argument("--mtbf-hours", type=float, default=0.0,
                           help="per-GPU MTBF for stochastic failures (0 = off)")
     simulate.add_argument("--mttr-hours", type=float, default=0.25)
@@ -628,6 +670,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0, help="trace RNG seed")
     sweep.add_argument("--max-sim-time", type=float, default=600.0)
     sweep.add_argument("--context-bucket", type=int, default=1)
+    sweep.add_argument("--metrics", default="exact", choices=("exact", "streaming"),
+                       help="exact per-request metrics, or constant-memory sketches")
     _add_topology_args(sweep)
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = in-process)")

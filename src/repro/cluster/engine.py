@@ -33,8 +33,9 @@ import heapq
 import itertools
 import math
 from collections import deque
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -396,12 +397,24 @@ def _available(state, time: float) -> bool:
 
 @dataclass
 class ActiveSequence:
-    """A sequence resident in a decode (or colocated) instance."""
+    """A sequence resident in a decode (or colocated) instance.
+
+    Under the fast engine the per-sequence bookkeeping is implicit: every
+    resident sequence of an instance experiences the same iterations, so
+    the engine keeps one shared iteration log per instance and each
+    sequence only remembers ``start_iter`` — the instance iteration count
+    at admission.  Its generated-token count is then always
+    ``iter_count - start_iter`` and its per-token latencies are the log
+    tail from ``start_iter``; neither needs per-sequence appends.  The
+    legacy path (``fast_engine=False``) still maintains ``generated`` and
+    ``iteration_times`` explicitly, one append per sequence per tick.
+    """
 
     request: Request
     generated: int = 0
     ttft_done: float = 0.0
     iteration_times: List[float] = field(default_factory=list)
+    start_iter: int = 0
 
     @property
     def context_len(self) -> int:
@@ -435,6 +448,15 @@ class DecodeState:
     ``context_sum`` (sum of their current context lengths) are maintained
     incrementally by the engine — integer arithmetic, so they are exactly
     the sums the seed recomputed by scanning ``active`` on every event.
+
+    The fast engine adds the shared-iteration structures: ``iter_log`` is
+    the latency of every iteration this instance ran (pruned below the
+    oldest resident ``start_iter``, with ``log_base`` tracking the prune
+    offset), ``iter_count`` the lifetime iteration count, and ``due`` maps
+    a future iteration count to the sequences completing exactly there —
+    a sequence admitted at count ``c`` with ``n`` output tokens finishes
+    when the count reaches ``c + n``, so the per-tick completion scan is
+    one dict pop instead of a walk over the whole batch.
     """
 
     active: List[ActiveSequence] = field(default_factory=list)
@@ -450,6 +472,10 @@ class DecodeState:
     retired: bool = False
     retired_at: float = math.inf
     energy_busy: float = 0.0
+    iter_log: List[float] = field(default_factory=list)
+    log_base: int = 0
+    iter_count: int = 0
+    due: Dict[int, List[ActiveSequence]] = field(default_factory=dict)
 
     def occupied_tokens(self) -> int:
         return self.occupied
@@ -474,7 +500,11 @@ class ColocatedState:
     ``occupied`` covers every committed sequence (decoding, chunking, or
     waiting to chunk); ``context_sum`` covers only the decoding batch.
     Both are engine-maintained integer counters equal to the scans the
-    seed ran per event.
+    seed ran per event.  ``iter_log``/``log_base``/``iter_count``/``due``
+    are the fast engine's shared-iteration structures (see
+    :class:`DecodeState`); chunk-only iterations (empty decode batch) are
+    logged too, so a joining sequence's ``start_iter`` always indexes the
+    log consistently.
     """
 
     active: List[ActiveSequence] = field(default_factory=list)
@@ -492,6 +522,10 @@ class ColocatedState:
     retired: bool = False
     retired_at: float = math.inf
     energy_busy: float = 0.0
+    iter_log: List[float] = field(default_factory=list)
+    log_base: int = 0
+    iter_count: int = 0
+    due: Dict[int, List[ActiveSequence]] = field(default_factory=dict)
 
     def committed(self) -> int:
         """Sequences holding a slot (decoding, chunking, or waiting to chunk)."""
@@ -521,6 +555,45 @@ class CompletedRequest:
     e2e: float
     mean_tbt: float
     restarts: int = 0
+
+
+#: Prune the shared iteration log only in chunks this large: the prune scans
+#: ``active`` for the oldest ``start_iter``, so amortize it over many ticks.
+_LOG_PRUNE = 4096
+
+
+def _register_due(inst, seq: ActiveSequence) -> None:
+    """Schedule ``seq``'s completion at its exact future iteration count."""
+    seq.start_iter = inst.iter_count
+    inst.due.setdefault(inst.iter_count + seq.request.output_tokens, []).append(seq)
+
+
+def _clear_iter_log(inst) -> None:
+    """Forget the instance's shared-iteration state (failure wiped it)."""
+    inst.due.clear()
+    inst.iter_log.clear()
+    inst.log_base = inst.iter_count
+
+
+def _prune_iter_log(inst) -> None:
+    """Drop log entries below every resident sequence's ``start_iter``."""
+    if len(inst.iter_log) < 2 * _LOG_PRUNE:
+        return
+    base = min((s.start_iter for s in inst.active), default=inst.iter_count)
+    drop = base - inst.log_base
+    if drop >= _LOG_PRUNE:
+        del inst.iter_log[:drop]
+        inst.log_base = base
+
+
+def _tail_mean(inst, seq: ActiveSequence) -> float:
+    """Mean per-token latency of a sequence completing *now*.
+
+    The log tail from ``start_iter`` is exactly the latencies the legacy
+    path appended to ``seq.iteration_times`` — same floats, same order, so
+    ``np.mean`` is bit-identical.
+    """
+    return float(np.mean(inst.iter_log[seq.start_iter - inst.log_base:]))
 
 
 # --- engines ----------------------------------------------------------------
@@ -553,6 +626,17 @@ class _EngineBase:
         # measured baseline for benchmarks/test_perf_sweep.py.  Both modes
         # are bit-identical: the counters are integer sums of the same terms.
         self.fast = getattr(config, "fast_engine", True)
+        # metrics="streaming" routes completions into constant-memory
+        # quantile sketches instead of the ``completed`` list; "exact" (the
+        # default) keeps every CompletedRequest and stays bit-identical to
+        # the goldens.  The import is deferred to engine construction:
+        # ``repro.analysis`` pulls report modules that import this package,
+        # so a module-level import would be circular.
+        self.metrics = None
+        if getattr(config, "metrics", "exact") == "streaming":
+            from ..analysis.streaming import StreamingMetrics
+
+            self.metrics = StreamingMetrics()
         self.events = EventQueue()
         self.now = 0.0
         # Clock of the last *request-affecting* event.  Failure/recovery
@@ -565,6 +649,12 @@ class _EngineBase:
         self.ttft: Dict[int, float] = {}
         self.restarts: Dict[int, int] = {}
         self.requeued = 0
+        # Integer counters maintained in both metric modes: the arrival
+        # count replaces ``len(trace)`` for iterator traces, and the output
+        # token sum replaces the economics pass over ``completed`` (the
+        # incremental int sum is identical to the genexpr it replaces).
+        self.arrivals = 0
+        self.output_token_count = 0
         self.controller = controller
         self.power_curve = power_curve or DVFSCurve()
         self.spawn_limits = dict(spawn_limits or {})
@@ -590,11 +680,21 @@ class _EngineBase:
         self.restarts[request.request_id] = self.restarts.get(request.request_id, 0) + 1
         self.requeued += 1
 
-    def _complete(self, seq: ActiveSequence, finish: float) -> None:
+    def _complete(self, seq: ActiveSequence, finish: float, mean_tbt: float) -> None:
         request = seq.request
-        mean_tbt = float(np.mean(seq.iteration_times))
         if self.controller is not None:
             self._window_tbts.append(mean_tbt)
+        self.output_token_count += request.output_tokens
+        if self.metrics is not None:
+            # Pop, don't get: completed requests never return, so dropping
+            # the TTFT entry keeps the dict bounded by in-flight requests.
+            self.metrics.record(
+                ttft=self.ttft.pop(request.request_id, 0.0),
+                mean_tbt=mean_tbt,
+                e2e=finish - request.arrival,
+                output_tokens=request.output_tokens,
+            )
+            return
         self.completed.append(
             CompletedRequest(
                 request=request,
@@ -605,10 +705,29 @@ class _EngineBase:
             )
         )
 
-    def run(self, trace: Sequence[Request]) -> "_EngineBase":
-        """Drain the event heap up to the configured horizon."""
-        for request in trace:
+    def _feed_arrival(self, arrival_iter: Iterator[Request]) -> None:
+        request = next(arrival_iter, None)
+        if request is not None:
+            self.arrivals += 1
             self.events.push(request.arrival, "arrival", (request,))
+
+    def run(self, trace: "Sequence[Request] | Iterable[Request]") -> "_EngineBase":
+        """Drain the event heap up to the configured horizon.
+
+        ``trace`` is either a materialized sequence — every arrival is
+        pushed up-front, the seed path, bit-identical heap tie-breaking —
+        or any iterator of arrival-ordered requests (e.g.
+        :func:`repro.workloads.traces.iter_trace`), consumed one arrival
+        ahead of the clock so only O(in-flight) requests are ever resident.
+        """
+        arrival_iter: Optional[Iterator[Request]] = None
+        if isinstance(trace, SequenceABC):
+            for request in trace:
+                self.events.push(request.arrival, "arrival", (request,))
+            self.arrivals = len(trace)
+        else:
+            arrival_iter = iter(trace)
+            self._feed_arrival(arrival_iter)
         for time, pool, index, duration in self.failures:
             self.events.push(time, "failure", (pool, index, duration))
         if self.controller is not None and self.controller.epoch > 0:
@@ -619,6 +738,8 @@ class _EngineBase:
             time, kind, payload = self.events.pop()
             if time > horizon:
                 break
+            if arrival_iter is not None and kind == "arrival":
+                self._feed_arrival(arrival_iter)
             self.now = time
             if kind not in _BOOKKEEPING_EVENTS:
                 self.work_time = time
@@ -918,9 +1039,12 @@ class PhaseSplitEngine(_EngineBase):
             slots = self.pools.max_decode_batch - len(inst.active)
             budget = self.kv_capacity - loads[idx]
             for request in self.policies.admission.select(self.decode_queue, slots, budget):
-                inst.active.append(ActiveSequence(request=request, ttft_done=time))
+                seq = ActiveSequence(request=request, ttft_done=time)
+                inst.active.append(seq)
                 inst.occupied += request.total_tokens
                 inst.context_sum += request.prompt_tokens
+                if self.fast:
+                    _register_due(inst, seq)
             if inst.active and not inst.running:
                 inst.running = True
                 self.events.push(max(time, inst.busy_until), "decode_iter", (idx,))
@@ -967,19 +1091,46 @@ class PhaseSplitEngine(_EngineBase):
         inst.energy_busy += latency * self._busy_power_ratio
         finish = now + latency
         inst.busy_until = finish
-        for seq in inst.active:
-            seq.generated += 1
-            seq.iteration_times.append(latency)
-        inst.context_sum += batch  # every resident context grew by one token
-        still_active: List[ActiveSequence] = []
-        for seq in inst.active:
-            if seq.done:
-                self._complete(seq, finish)
-                inst.occupied -= seq.request.total_tokens
-                inst.context_sum -= seq.context_len
-            else:
-                still_active.append(seq)
-        inst.active = still_active
+        if self.fast:
+            # One shared log append plus a dict pop of exactly the
+            # sequences completing at this iteration count — no
+            # per-sequence latency appends, no batch-wide done scan, no
+            # active-list rebuild on completion-free ticks.  The remaining
+            # per-sequence work is a single integer increment, which keeps
+            # ``generated``/``context_len`` live for inspectors.
+            # Completion order equals admit order within the bucket, which
+            # is the order the legacy scan completes them in.
+            for seq in inst.active:
+                seq.generated += 1
+            inst.iter_log.append(latency)
+            inst.iter_count += 1
+            inst.context_sum += batch  # every resident context grew by one
+            done = inst.due.pop(inst.iter_count, None)
+            if done:
+                for seq in done:
+                    self._complete(seq, finish, _tail_mean(inst, seq))
+                    inst.occupied -= seq.request.total_tokens
+                    inst.context_sum -= seq.context_len
+                if len(done) == batch:
+                    inst.active.clear()
+                else:
+                    done_ids = set(map(id, done))
+                    inst.active = [s for s in inst.active if id(s) not in done_ids]
+                _prune_iter_log(inst)
+        else:
+            for seq in inst.active:
+                seq.generated += 1
+                seq.iteration_times.append(latency)
+            inst.context_sum += batch  # every resident context grew by one token
+            still_active: List[ActiveSequence] = []
+            for seq in inst.active:
+                if seq.done:
+                    self._complete(seq, finish, float(np.mean(seq.iteration_times)))
+                    inst.occupied -= seq.request.total_tokens
+                    inst.context_sum -= seq.context_len
+                else:
+                    still_active.append(seq)
+            inst.active = still_active
         self.events.push(finish, "decode_admit", (idx,))
 
     def _on_decode_admit(self, now: float, payload: tuple) -> None:
@@ -1018,6 +1169,7 @@ class PhaseSplitEngine(_EngineBase):
             for request in victims:
                 self._record_restart(request)
             inst.active.clear()
+            _clear_iter_log(inst)
             inst.occupied = 0
             inst.context_sum = 0
             if inst.draining and not inst.retired:
@@ -1180,27 +1332,60 @@ class ColocatedEngine(_EngineBase):
         inst.energy_busy += latency * self._busy_power_ratio
         finish = now + latency
         inst.busy_until = finish
-        for seq in inst.active:
-            seq.generated += 1
-            seq.iteration_times.append(latency)
-        inst.context_sum += batch  # every decoding context grew by one token
-        if inst.current is not None:
-            inst.current.remaining -= chunk
-            if inst.current.remaining <= 0:
-                request = inst.current.request
-                self._record_ttft(request, finish)
-                inst.active.append(ActiveSequence(request=request, ttft_done=finish))
-                inst.context_sum += request.prompt_tokens
-                inst.current = None
-        still_active: List[ActiveSequence] = []
-        for seq in inst.active:
-            if seq.done:
-                self._complete(seq, finish)
-                inst.occupied -= seq.request.total_tokens
-                inst.context_sum -= seq.context_len
-            else:
-                still_active.append(seq)
-        inst.active = still_active
+        if self.fast:
+            # Chunk-only iterations (batch == 0) are logged too: a joiner
+            # admitted below gets ``start_iter = iter_count`` *after* the
+            # increment, so its first decode tick is the next iteration —
+            # exactly when the legacy path first appends to it.
+            for seq in inst.active:
+                seq.generated += 1
+            inst.iter_log.append(latency)
+            inst.iter_count += 1
+            inst.context_sum += batch
+            if inst.current is not None:
+                inst.current.remaining -= chunk
+                if inst.current.remaining <= 0:
+                    request = inst.current.request
+                    self._record_ttft(request, finish)
+                    seq = ActiveSequence(request=request, ttft_done=finish)
+                    inst.active.append(seq)
+                    _register_due(inst, seq)
+                    inst.context_sum += request.prompt_tokens
+                    inst.current = None
+            done = inst.due.pop(inst.iter_count, None)
+            if done:
+                for seq in done:
+                    self._complete(seq, finish, _tail_mean(inst, seq))
+                    inst.occupied -= seq.request.total_tokens
+                    inst.context_sum -= seq.context_len
+                if len(done) == len(inst.active):
+                    inst.active.clear()
+                else:
+                    done_ids = set(map(id, done))
+                    inst.active = [s for s in inst.active if id(s) not in done_ids]
+                _prune_iter_log(inst)
+        else:
+            for seq in inst.active:
+                seq.generated += 1
+                seq.iteration_times.append(latency)
+            inst.context_sum += batch  # every decoding context grew by one token
+            if inst.current is not None:
+                inst.current.remaining -= chunk
+                if inst.current.remaining <= 0:
+                    request = inst.current.request
+                    self._record_ttft(request, finish)
+                    inst.active.append(ActiveSequence(request=request, ttft_done=finish))
+                    inst.context_sum += request.prompt_tokens
+                    inst.current = None
+            still_active: List[ActiveSequence] = []
+            for seq in inst.active:
+                if seq.done:
+                    self._complete(seq, finish, float(np.mean(seq.iteration_times)))
+                    inst.occupied -= seq.request.total_tokens
+                    inst.context_sum -= seq.context_len
+                else:
+                    still_active.append(seq)
+            inst.active = still_active
         self.events.push(finish, "admit", (idx,))
 
     def _on_admit(self, now: float, payload: tuple) -> None:
@@ -1233,6 +1418,7 @@ class ColocatedEngine(_EngineBase):
             lost + [partial.request for partial in inst.backlog], self.pending
         )
         inst.active.clear()
+        _clear_iter_log(inst)
         inst.backlog.clear()
         inst.current = None
         inst.occupied = 0

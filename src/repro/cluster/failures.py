@@ -227,7 +227,16 @@ def _sample_schedule(
     return sorted(schedule)
 
 
-@lru_cache(maxsize=256)
+#: Upper bound on memoized seeded schedules.  The memo exists so ensemble
+#: replicas and repeated sweep points sharing (model, pool, size, horizon,
+#: seed) reuse one Weibull draw; LRU-bounding it means a daemon-style
+#: process sweeping many distinct seeds evicts old draws instead of growing
+#: without limit.  256 entries cover any realistic sweep working set while
+#: capping worst-case retention at a few MiB of schedule tuples.
+SCHEDULE_CACHE_MAX = 256
+
+
+@lru_cache(maxsize=SCHEDULE_CACHE_MAX)
 def _cached_schedule(
     model: FailureModel,
     pool: str,
@@ -241,7 +250,13 @@ def _cached_schedule(
 
 
 def schedule_cache_info():
-    """Hit/miss statistics of the seeded-schedule memo (for tests/benchmarks)."""
+    """Statistics of the seeded-schedule memo (for tests/benchmarks).
+
+    The returned ``functools.CacheInfo`` carries hits/misses plus the
+    cache's bound: ``maxsize`` equals :data:`SCHEDULE_CACHE_MAX` and
+    ``currsize`` can never exceed it (least-recently-used draws are
+    evicted first).
+    """
     return _cached_schedule.cache_info()
 
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -225,6 +225,11 @@ class SimConfig:
     ``fast_engine=False`` re-enables the seed's per-event occupancy scans
     and numpy context means (bit-identical, slower — the measured baseline
     of ``benchmarks/test_perf_sweep.py``).
+    ``metrics="streaming"`` folds completions into constant-memory quantile
+    sketches (:mod:`repro.analysis.streaming`) instead of materializing a
+    ``CompletedRequest`` per request: percentiles become ≤1%-error
+    estimates, counters stay exact, and memory no longer grows with trace
+    length.  The default ``"exact"`` is bit-identical to the goldens.
     """
 
     max_sim_time: float = 3600.0
@@ -232,6 +237,7 @@ class SimConfig:
     context_bucket: int = 1
     cache_service_times: bool = True
     fast_engine: bool = True
+    metrics: str = "exact"
 
     def __post_init__(self) -> None:
         if self.max_sim_time <= 0:
@@ -240,6 +246,8 @@ class SimConfig:
             raise SpecError("min_decode_interval must be positive")
         if self.context_bucket < 1:
             raise SpecError("context_bucket must be at least 1")
+        if self.metrics not in ("exact", "streaming"):
+            raise SpecError("metrics must be 'exact' or 'streaming'")
 
 
 @dataclass(frozen=True)
@@ -311,7 +319,7 @@ class SimReport:
 
 def _build_report(
     completed: List[CompletedRequest],
-    trace: Sequence[Request],
+    arrivals: int,
     duration: float,
     prefill_busy: Sequence[float],
     decode_busy: Sequence[float],
@@ -338,7 +346,7 @@ def _build_report(
     decode_util = float(np.mean(decode_busy) / duration)
     return SimReport(
         completed=len(completed),
-        dropped=len(trace) - len(completed),
+        dropped=arrivals - len(completed),
         duration=duration,
         ttft_p50=float(ttft_p50),
         ttft_p99=float(ttft_p99),
@@ -351,6 +359,67 @@ def _build_report(
         decode_utilization=min(1.0, decode_util),
         requeued_on_failure=requeued,
         restarted_requests=restarted,
+    )
+
+
+def _build_streaming_report(
+    metrics,  # repro.analysis.streaming.StreamingMetrics
+    arrivals: int,
+    out_tokens: int,
+    duration: float,
+    prefill_busy: Sequence[float],
+    decode_busy: Sequence[float],
+    requeued: int,
+    restarted: int,
+) -> SimReport:
+    """The constant-memory counterpart of :func:`_build_report`.
+
+    Counters (completed/dropped/tokens/utilization) are exact; latency
+    percentiles come from the engine's quantile sketches, accurate to ≤1%
+    relative error on the latency shapes the simulator produces.
+    """
+    duration = max(duration, 1e-9)
+    if metrics.completed:
+        ttft_p50, ttft_p99 = metrics.ttft.quantiles((0.5, 0.99))
+        e2e_p50, e2e_p99 = metrics.e2e.quantiles((0.5, 0.99))
+        tbt_p99 = metrics.tbt.quantile(0.99)
+        tbt_mean = metrics.tbt.mean
+    else:
+        nan = float("nan")
+        ttft_p50 = ttft_p99 = tbt_mean = tbt_p99 = e2e_p50 = e2e_p99 = nan
+    return SimReport(
+        completed=metrics.completed,
+        dropped=arrivals - metrics.completed,
+        duration=duration,
+        ttft_p50=float(ttft_p50),
+        ttft_p99=float(ttft_p99),
+        tbt_mean=float(tbt_mean),
+        tbt_p99=float(tbt_p99),
+        e2e_p50=float(e2e_p50),
+        e2e_p99=float(e2e_p99),
+        output_tokens_per_s=out_tokens / duration,
+        prefill_utilization=min(1.0, float(np.mean(prefill_busy) / duration)),
+        decode_utilization=min(1.0, float(np.mean(decode_busy) / duration)),
+        requeued_on_failure=requeued,
+        restarted_requests=restarted,
+    )
+
+
+def _report_from_engine(
+    engine,
+    prefill_busy: Sequence[float],
+    decode_busy: Sequence[float],
+) -> SimReport:
+    """Dispatch to the exact or streaming report builder for a run engine."""
+    if engine.metrics is not None:
+        return _build_streaming_report(
+            engine.metrics, engine.arrivals, engine.output_token_count,
+            engine.work_time, prefill_busy, decode_busy,
+            engine.requeued, len(engine.restarts),
+        )
+    return _build_report(
+        engine.completed, engine.arrivals, engine.work_time,
+        prefill_busy, decode_busy, engine.requeued, len(engine.restarts),
     )
 
 
@@ -378,7 +447,10 @@ def _attach_economics(
     report: SimReport, engine, pool_rollups: Tuple
 ) -> Tuple[SimReport, EconomicsReport]:
     """Fold the engine's resource counters into the report's cost fields."""
-    out_tokens = sum(c.request.output_tokens for c in engine.completed)
+    # The engine-maintained integer counter equals the old genexpr sum over
+    # ``completed`` bit-for-bit, and also exists when streaming metrics
+    # never materialize the completion list.
+    out_tokens = engine.output_token_count
     econ = EconomicsReport(
         pools=tuple(pool_rollups), duration=report.duration, output_tokens=out_tokens
     )
@@ -465,6 +537,9 @@ class ServingSimulator:
         self.controller = get_controller(controller)
         self.economics = economics or EconomicsConfig()
         self.last_economics: Optional[EconomicsReport] = None
+        # StreamingMetrics of the last run (None under metrics="exact");
+        # sharded execution merges these across shard engines.
+        self.last_metrics = None
         shapes, self._spawn_limits = _elastic_shapes(
             pools.pool_shapes(), self.controller, topology, placer
         )
@@ -506,8 +581,12 @@ class ServingSimulator:
             pools.decode, self.config, network_model, topology, self.placement, "decode"
         )
 
-    def run(self, trace: Sequence[Request]) -> SimReport:
+    def run(self, trace: "Sequence[Request] | Iterable[Request]") -> SimReport:
         """Simulate the trace to completion (or the time horizon).
+
+        ``trace`` may also be an iterator of arrival-ordered requests (e.g.
+        :func:`repro.workloads.traces.iter_trace`): arrivals are then fed
+        one ahead of the clock, so memory stays bounded by in-flight work.
 
         >>> # see examples/splitwise_serving.py for an end-to-end run
         """
@@ -526,14 +605,11 @@ class ServingSimulator:
             spawn_limits=self._spawn_limits,
         )
         engine.run(trace)
-        report = _build_report(
-            engine.completed,
-            trace,
-            engine.work_time,
+        self.last_metrics = engine.metrics
+        report = _report_from_engine(
+            engine,
             [s.busy_time for s in engine.prefill_states],
             [s.busy_time for s in engine.decode_states],
-            engine.requeued,
-            len(engine.restarts),
         )
         pool_rollups = (
             pool_economics(
@@ -587,6 +663,7 @@ class ColocatedSimulator:
         self.controller = get_controller(controller)
         self.economics = economics or EconomicsConfig()
         self.last_economics: Optional[EconomicsReport] = None
+        self.last_metrics = None
         shapes, self._spawn_limits = _elastic_shapes(
             pool.pool_shapes(), self.controller, topology, placer
         )
@@ -618,8 +695,12 @@ class ColocatedSimulator:
             pool.instance, self.config, network_model, topology, self.placement, "colocated"
         )
 
-    def run(self, trace: Sequence[Request]) -> SimReport:
-        """Simulate the trace to completion (or the time horizon)."""
+    def run(self, trace: "Sequence[Request] | Iterable[Request]") -> SimReport:
+        """Simulate the trace to completion (or the time horizon).
+
+        Iterator traces are fed one arrival ahead of the clock, exactly as
+        on :meth:`ServingSimulator.run`.
+        """
         self.provider.set_frequency(1.0)
         engine = ColocatedEngine(
             self.pool,
@@ -632,11 +713,9 @@ class ColocatedSimulator:
             spawn_limits=self._spawn_limits,
         )
         engine.run(trace)
+        self.last_metrics = engine.metrics
         busy = [s.busy_time for s in engine.states]
-        report = _build_report(
-            engine.completed, trace, engine.work_time, busy, busy,
-            engine.requeued, len(engine.restarts),
-        )
+        report = _report_from_engine(engine, busy, busy)
         rollup = pool_economics(
             "colocated", self.pool.instance, engine.states,
             report.duration, self.economics,

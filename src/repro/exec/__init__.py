@@ -13,7 +13,10 @@ recompute a point whose inputs haven't changed.
   deterministic per-job seed and key derivation;
 - :mod:`repro.exec.ensemble` — :class:`SimulationEnsemble`, replicated
   failure-seeded simulations aggregated with confidence intervals
-  (imported lazily to keep the light modules import-cycle-free).
+  (imported lazily to keep the light modules import-cycle-free);
+- :mod:`repro.exec.sharding` — :func:`run_sharded`, split one big run
+  into per-shard engine runs whose streaming metrics merge into one
+  report (also lazy: it pulls in the cluster stack).
 """
 
 from __future__ import annotations
@@ -34,16 +37,25 @@ __all__ = [
     "SimulationEnsemble",
     "run_replica",
     "aggregate_reports",
+    "run_sharded",
+    "shard_requests",
+    "shard_deployment",
+    "merge_shard_results",
 ]
 
 _ENSEMBLE_EXPORTS = ("EnsembleReport", "SimulationEnsemble", "run_replica", "aggregate_reports")
+_SHARDING_EXPORTS = ("run_sharded", "shard_requests", "shard_deployment", "merge_shard_results")
 
 
 def __getattr__(name: str):
-    # Lazy: repro.exec.ensemble pulls in the whole cluster/simulator stack,
-    # which must not load just because core.search imported the runner.
+    # Lazy: repro.exec.ensemble/sharding pull in the whole cluster/simulator
+    # stack, which must not load just because core.search imported the runner.
     if name in _ENSEMBLE_EXPORTS:
         from . import ensemble
 
         return getattr(ensemble, name)
+    if name in _SHARDING_EXPORTS:
+        from . import sharding
+
+        return getattr(sharding, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -24,13 +24,35 @@ callers choose whether to surface or skip errored points.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..errors import SpecError
 from .cache import MISS, ResultCache
 
-__all__ = ["Job", "JobOutcome", "run_many"]
+__all__ = ["Job", "JobOutcome", "effective_workers", "run_many"]
+
+
+def effective_workers(workers: int) -> int:
+    """Clamp a requested worker count to the CPUs this process may use.
+
+    A process pool wider than the available cores cannot speed anything up
+    — on a 1-core box it *loses* to the serial path on fork/pickle
+    overhead (the 0.9x "speedup" BENCH_sweep.json used to report).  Uses
+    the scheduler affinity mask where the platform exposes it (a container
+    may be pinned to fewer CPUs than ``os.cpu_count`` reports).
+
+    >>> effective_workers(1)
+    1
+    """
+    if workers < 1:
+        raise SpecError("workers must be at least 1")
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        cores = os.cpu_count() or 1
+    return max(1, min(workers, cores))
 
 
 @dataclass(frozen=True)
@@ -84,15 +106,16 @@ def run_many(
     With a ``cache``, keyed jobs are looked up first and only the misses
     are dispatched; successful miss results are stored back (values the
     cache codec cannot encode are silently left uncached).  ``workers`` is
-    clamped to the number of pending jobs; ``workers=1`` runs in-process.
+    clamped to :func:`effective_workers` (available CPUs) and then to the
+    number of pending jobs; when the effective count is 1 the jobs run
+    in-process — no pool, no pickling, no fork overhead.
 
     >>> outcomes = run_many([Job(fn=abs, args=(-3,)), Job(fn=abs, args=(4,))])
     >>> [o.value for o in outcomes]
     [3, 4]
     """
     jobs = list(jobs)
-    if workers < 1:
-        raise SpecError("workers must be at least 1")
+    workers = effective_workers(workers)
     outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
     pending: List[int] = []
     for i, job in enumerate(jobs):

@@ -1,0 +1,296 @@
+"""Sharded simulation: split one big run into mergeable per-shard runs.
+
+A 10M-request day against a large deployment is one giant event loop.  But
+when the deployment is a pool of independent instances and routing is the
+only coupling between them, the run factors: partition the instances into
+``shards`` sub-deployments, route each request to a shard up front (with
+the same pluggable :data:`~repro.cluster.policies.ROUTING_POLICIES` the
+engines use), simulate every shard independently — optionally across
+worker processes via :func:`~repro.exec.runner.run_many` — and merge the
+shards' streaming sketches and exact counters into one
+:class:`~repro.cluster.simulator.SimReport`.
+
+The merge is deterministic: counters are integer sums (bit-exact in any
+order), durations take the max, utilizations recombine via busy-time
+reconstruction (``util_i * duration_i * n_instances_i``), and latency
+percentiles come from merging the shards'
+:class:`~repro.analysis.streaming.QuantileSketch` objects — associative up
+to the sketch's rank-error bound, so ``shards=N`` agrees with ``shards=1``
+within tolerance (property-pinned in ``tests/exec/test_sharding.py``).
+
+What sharding models — and what it gives up: the up-front shard routing
+replaces the engine's per-event routing *across* shard boundaries, so a
+request can never spill from a hot shard to an idle instance in another
+shard.  With a balancing shard policy (the default token-weighted
+``"least-loaded"``) the difference is small at scale; it is zero when the
+unsharded router is index-blind.  Topology/controller co-simulation is
+whole-cluster by nature and is not shardable — those knobs are rejected.
+
+Memory: each shard engine runs with ``metrics="streaming"`` (constant
+memory), so the sharded path's footprint is the ``Request`` objects plus
+one sketch bundle per shard — never the per-completion lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import SpecError
+from .runner import Job, run_many
+from .seeding import derive_seed
+
+__all__ = [
+    "shard_requests",
+    "shard_deployment",
+    "run_sharded",
+    "merge_shard_results",
+]
+
+
+def _resolve_routing(policy: Any):
+    """A fresh routing-policy instance from a name or instance."""
+    from ..cluster.policies import ROUTING_POLICIES, RoutingPolicy
+
+    if isinstance(policy, str):
+        return ROUTING_POLICIES.get(policy)()
+    if isinstance(policy, RoutingPolicy):
+        return policy
+    raise SpecError("shard_policy must be a routing-policy name or instance")
+
+
+def shard_requests(
+    trace: Iterable,
+    n_shards: int,
+    policy: Any = "least-loaded",
+    weights: Optional[Sequence[float]] = None,
+) -> List[List[Any]]:
+    """Partition an arrival-ordered trace across ``n_shards`` shards.
+
+    ``policy`` is a :data:`~repro.cluster.policies.ROUTING_POLICIES` name
+    (or instance) ranking shards by load; each request goes to the policy's
+    first choice, where a shard's load is its assigned prompt+output tokens
+    divided by its ``weights`` entry (shard capacity — defaults to equal).
+    The default ``"least-loaded"`` keeps shards token-balanced;
+    ``"round-robin"`` stripes; ``"index-order"`` sends everything to shard
+    0 (degenerate, but honest to the policy's semantics).
+
+    Deterministic: a fresh policy instance plus an ordered fold over the
+    trace means the same inputs always produce the same partition.  Each
+    shard's sub-trace preserves arrival order; request ids are untouched
+    (they are globally unique already).
+    """
+    if n_shards < 1:
+        raise SpecError("n_shards must be at least 1")
+    if weights is not None and len(weights) != n_shards:
+        raise SpecError("weights must have one entry per shard")
+    router = _resolve_routing(policy)
+    scale = [float(w) for w in weights] if weights is not None else [1.0] * n_shards
+    if any(w <= 0 for w in scale):
+        raise SpecError("shard weights must be positive")
+    shards: List[List[Any]] = [[] for _ in range(n_shards)]
+    loads = [0.0] * n_shards
+    for request in trace:
+        target = router.order(loads)[0]
+        shards[target].append(request)
+        tokens = request.prompt_tokens + request.output_tokens
+        loads[target] += tokens / scale[target]
+    return shards
+
+
+def shard_deployment(deployment: Any, n_shards: int) -> List[Any]:
+    """Split a deployment's instances into ``n_shards`` sub-deployments.
+
+    Instances are divided as evenly as possible (earlier shards take the
+    remainder).  Every shard must keep at least one instance of each pool,
+    so ``n_shards`` is bounded by the smallest pool.
+    """
+    from ..cluster.scheduler import ColocatedPool, PhasePools
+
+    if n_shards < 1:
+        raise SpecError("n_shards must be at least 1")
+
+    def split(count: int) -> List[int]:
+        base, rem = divmod(count, n_shards)
+        return [base + (1 if i < rem else 0) for i in range(n_shards)]
+
+    if isinstance(deployment, PhasePools):
+        if n_shards > min(deployment.n_prefill, deployment.n_decode):
+            raise SpecError(
+                "n_shards cannot exceed the smallest pool "
+                f"(min(n_prefill={deployment.n_prefill}, "
+                f"n_decode={deployment.n_decode}))"
+            )
+        return [
+            replace(deployment, n_prefill=p, n_decode=d)
+            for p, d in zip(split(deployment.n_prefill), split(deployment.n_decode))
+        ]
+    if isinstance(deployment, ColocatedPool):
+        if n_shards > deployment.n_instances:
+            raise SpecError(
+                f"n_shards cannot exceed n_instances={deployment.n_instances}"
+            )
+        return [replace(deployment, n_instances=n) for n in split(deployment.n_instances)]
+    raise SpecError("deployment must be a PhasePools or ColocatedPool")
+
+
+def _pool_weights(deployment: Any) -> Tuple[int, int]:
+    """(prefill, decode) instance counts — colocated pools count once each."""
+    from ..cluster.scheduler import ColocatedPool
+
+    if isinstance(deployment, ColocatedPool):
+        return deployment.n_instances, deployment.n_instances
+    return deployment.n_prefill, deployment.n_decode
+
+
+def _run_shard(
+    deployment: Any,
+    trace: Tuple,
+    config: Any,
+    policies: Any,
+    failure_model: Any,
+    failure_seed: int,
+) -> Dict[str, Any]:
+    """Simulate one shard; module-level so worker processes can pickle it."""
+    from ..cluster.scheduler import ColocatedPool
+    from ..cluster.simulator import ColocatedSimulator, ServingSimulator
+
+    sim_cls = (
+        ColocatedSimulator if isinstance(deployment, ColocatedPool) else ServingSimulator
+    )
+    sim = sim_cls(
+        deployment,
+        config,
+        policies=policies,
+        failure_model=failure_model,
+        failure_seed=failure_seed,
+    )
+    report = sim.run(list(trace))
+    prefill_n, decode_n = _pool_weights(deployment)
+    return {
+        "report": report,
+        "metrics": sim.last_metrics,
+        "prefill_n": prefill_n,
+        "decode_n": decode_n,
+    }
+
+
+def merge_shard_results(parts: Sequence[Dict[str, Any]]) -> Any:
+    """Fold per-shard results into one :class:`SimReport`.
+
+    Integer counters (completed/dropped/requeued/restarted/tokens/spawns)
+    sum bit-exactly; ``duration`` is the latest shard clock; utilizations
+    recombine from reconstructed busy time; latency percentiles come from
+    the merged quantile sketches; economics totals sum, with
+    ``usd_per_mtoken`` re-amortized over the merged token count.
+    """
+    from ..analysis.streaming import StreamingMetrics
+    from ..cluster.simulator import SimReport
+
+    if not parts:
+        raise SpecError("cannot merge zero shard results")
+    metrics = StreamingMetrics.merged([p["metrics"] for p in parts])
+    reports = [p["report"] for p in parts]
+    duration = max(max(r.duration for r in reports), 1e-9)
+    prefill_n = sum(p["prefill_n"] for p in parts)
+    decode_n = sum(p["decode_n"] for p in parts)
+    prefill_busy = sum(
+        r.prefill_utilization * r.duration * p["prefill_n"]
+        for r, p in zip(reports, parts)
+    )
+    decode_busy = sum(
+        r.decode_utilization * r.duration * p["decode_n"]
+        for r, p in zip(reports, parts)
+    )
+    if metrics.completed:
+        ttft_p50, ttft_p99 = metrics.ttft.quantiles((0.5, 0.99))
+        e2e_p50, e2e_p99 = metrics.e2e.quantiles((0.5, 0.99))
+        tbt_p99 = metrics.tbt.quantile(0.99)
+        tbt_mean = metrics.tbt.mean
+    else:
+        nan = float("nan")
+        ttft_p50 = ttft_p99 = tbt_mean = tbt_p99 = e2e_p50 = e2e_p99 = nan
+    usd_cost = sum(r.usd_cost for r in reports)
+    return SimReport(
+        completed=metrics.completed,
+        dropped=sum(r.dropped for r in reports),
+        duration=duration,
+        ttft_p50=float(ttft_p50),
+        ttft_p99=float(ttft_p99),
+        tbt_mean=float(tbt_mean),
+        tbt_p99=float(tbt_p99),
+        e2e_p50=float(e2e_p50),
+        e2e_p99=float(e2e_p99),
+        output_tokens_per_s=metrics.output_tokens / duration,
+        prefill_utilization=min(1.0, prefill_busy / (duration * max(prefill_n, 1))),
+        decode_utilization=min(1.0, decode_busy / (duration * max(decode_n, 1))),
+        requeued_on_failure=sum(r.requeued_on_failure for r in reports),
+        restarted_requests=sum(r.restarted_requests for r in reports),
+        gpu_seconds=sum(r.gpu_seconds for r in reports),
+        energy_joules=sum(r.energy_joules for r in reports),
+        usd_cost=usd_cost,
+        usd_per_mtoken=(
+            usd_cost / (metrics.output_tokens / 1e6) if metrics.output_tokens else 0.0
+        ),
+        spawned_instances=sum(r.spawned_instances for r in reports),
+        retired_instances=sum(r.retired_instances for r in reports),
+    )
+
+
+def run_sharded(
+    deployment: Any,
+    trace: Iterable,
+    config: Any = None,
+    *,
+    shards: int,
+    policies: Any = None,
+    failure_model: Any = None,
+    failure_seed: int = 0,
+    shard_policy: Union[str, Any] = "least-loaded",
+    workers: int = 1,
+) -> Any:
+    """Simulate ``trace`` as ``shards`` independent sub-runs and merge.
+
+    The deployment's instances and the trace's requests are partitioned
+    (see :func:`shard_deployment` / :func:`shard_requests`), each shard
+    runs its own engine with ``metrics="streaming"`` and a failure seed
+    derived as ``derive_seed(failure_seed, "shard", i)``, and the results
+    merge via :func:`merge_shard_results`.  ``workers > 1`` fans shards
+    across processes through :func:`~repro.exec.runner.run_many` — results
+    are bit-identical to ``workers=1`` because the merge consumes shard
+    results in shard order regardless of scheduling.
+
+    ``trace`` may be any iterable (e.g.
+    :func:`~repro.workloads.traces.iter_trace`); it is consumed once.
+    Topology, controller, and scripted-failure knobs are whole-cluster
+    concerns and are not supported here — use the unsharded simulators.
+    """
+    from ..cluster.simulator import SimConfig
+
+    if shards < 1:
+        raise SpecError("shards must be at least 1")
+    config = config or SimConfig()
+    config = replace(config, metrics="streaming")
+    sub_deployments = shard_deployment(deployment, shards)
+    weights = [d.total_gpus for d in sub_deployments]
+    sub_traces = shard_requests(trace, shards, policy=shard_policy, weights=weights)
+    jobs = [
+        Job(
+            fn=_run_shard,
+            args=(
+                sub_deployments[i],
+                tuple(sub_traces[i]),
+                config,
+                policies,
+                failure_model,
+                derive_seed(failure_seed, "shard", i),
+            ),
+            label=f"shard-{i}",
+        )
+        for i in range(shards)
+    ]
+    outcomes = run_many(jobs, workers=workers)
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        raise SpecError(f"shard {failed[0].label} failed: {failed[0].error}")
+    return merge_shard_results([o.value for o in outcomes])

@@ -1,0 +1,195 @@
+"""Sharded simulation: partitioning, deterministic merge, worker parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.scheduler import ColocatedPool, InstanceSpec, PhasePools
+from repro.cluster.simulator import SimConfig
+from repro.errors import SpecError
+from repro.exec.sharding import (
+    merge_shard_results,
+    run_sharded,
+    shard_deployment,
+    shard_requests,
+)
+from repro.hardware.gpu import H100
+from repro.workloads.models import LLAMA3_8B
+from repro.workloads.traces import TraceConfig, generate_trace, iter_trace
+
+
+def _pools(n_prefill=4, n_decode=4):
+    return PhasePools(
+        prefill=InstanceSpec(LLAMA3_8B, H100, 1),
+        n_prefill=n_prefill,
+        decode=InstanceSpec(LLAMA3_8B, H100, 1),
+        n_decode=n_decode,
+        max_prefill_batch=4,
+        max_decode_batch=64,
+    )
+
+
+def _colocated(n_instances=4):
+    return ColocatedPool(
+        instance=InstanceSpec(LLAMA3_8B, H100, 1),
+        n_instances=n_instances,
+        max_decode_batch=64,
+    )
+
+
+def _trace(rate=12.0, duration=40.0, seed=7):
+    return generate_trace(
+        TraceConfig(rate=rate, duration=duration, output_tokens=50), seed=seed
+    )
+
+
+def _rel(a, b):
+    return abs(a - b) / max(abs(b), 1e-12)
+
+
+class TestShardRequests:
+    def test_least_loaded_balances_tokens(self):
+        trace = _trace()
+        shards = shard_requests(trace, 4)
+        assert sum(len(s) for s in shards) == len(trace)
+        loads = [sum(r.prompt_tokens + r.output_tokens for r in s) for s in shards]
+        assert max(loads) - min(loads) < 0.05 * max(loads)
+        # Arrival order preserved within every shard.
+        for shard in shards:
+            assert all(a.arrival <= b.arrival for a, b in zip(shard, shard[1:]))
+
+    def test_round_robin_stripes(self):
+        trace = _trace(rate=5, duration=10)
+        shards = shard_requests(trace, 3, policy="round-robin")
+        assert [r.request_id for r in shards[0]] == [r.request_id for r in trace][::3]
+
+    def test_deterministic(self):
+        trace = _trace()
+        assert shard_requests(trace, 3) == shard_requests(trace, 3)
+
+    def test_weights_skew_assignment(self):
+        trace = _trace()
+        light, heavy = shard_requests(trace, 2, weights=[1.0, 3.0])
+        tokens = lambda s: sum(r.prompt_tokens + r.output_tokens for r in s)  # noqa: E731
+        assert 2.0 < tokens(heavy) / tokens(light) < 4.0
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            shard_requests([], 0)
+        with pytest.raises(SpecError):
+            shard_requests([], 2, weights=[1.0])
+        with pytest.raises(SpecError):
+            shard_requests([], 2, weights=[1.0, -1.0])
+        with pytest.raises(SpecError):
+            shard_requests([], 2, policy=42)
+
+
+class TestShardDeployment:
+    def test_phase_split_even_division(self):
+        subs = shard_deployment(_pools(5, 7), 3)
+        assert [d.n_prefill for d in subs] == [2, 2, 1]
+        assert [d.n_decode for d in subs] == [3, 2, 2]
+        assert all(d.max_decode_batch == 64 for d in subs)
+
+    def test_colocated_division(self):
+        subs = shard_deployment(_colocated(5), 2)
+        assert [d.n_instances for d in subs] == [3, 2]
+
+    def test_rejects_more_shards_than_instances(self):
+        with pytest.raises(SpecError):
+            shard_deployment(_pools(2, 8), 3)
+        with pytest.raises(SpecError):
+            shard_deployment(_colocated(2), 3)
+        with pytest.raises(SpecError):
+            shard_deployment("not-a-deployment", 1)
+
+
+class TestRunSharded:
+    def test_shards_n_matches_shards_1_within_tolerance(self):
+        trace = _trace()
+        config = SimConfig(max_sim_time=600)
+        one = run_sharded(_pools(), trace, config, shards=1)
+        four = run_sharded(_pools(), trace, config, shards=4)
+        # Counters are bit-exact: every request completes in both factorings.
+        assert one.completed == four.completed == len(trace)
+        assert one.dropped == four.dropped == 0
+        assert one.requeued_on_failure == four.requeued_on_failure == 0
+        # Latency quantiles agree within the merge tolerance.
+        assert _rel(four.ttft_p50, one.ttft_p50) <= 0.02
+        assert _rel(four.ttft_p99, one.ttft_p99) <= 0.05
+        assert np.isfinite(four.e2e_p99)
+
+    def test_factoring_is_exact_when_routing_is_preserved(self):
+        # Under "index-order" the unsharded engine fills instance 0 first
+        # and the shard router sends every request to shard 0 — the same
+        # event sequence on the same instance, so every latency quantile
+        # must match to the sketch's determinism, not a tolerance.
+        trace = _trace(rate=3, duration=40)
+        config = SimConfig(max_sim_time=600)
+        one = run_sharded(_colocated(), trace, config, shards=1,
+                          shard_policy="index-order")
+        four = run_sharded(_colocated(), trace, config, shards=4,
+                           shard_policy="index-order")
+        assert one.completed == four.completed == len(trace)
+        assert four.ttft_p50 == one.ttft_p50
+        assert four.ttft_p99 == one.ttft_p99
+        assert four.e2e_p99 == one.e2e_p99
+
+    def test_workers_bit_identical_to_serial(self):
+        trace = _trace()
+        config = SimConfig(max_sim_time=600)
+        serial = run_sharded(_pools(), trace, config, shards=4, workers=1)
+        pooled = run_sharded(_pools(), trace, config, shards=4, workers=4)
+        assert serial == pooled
+
+    def test_deterministic_across_runs(self):
+        trace = _trace()
+        config = SimConfig(max_sim_time=600)
+        a = run_sharded(_colocated(), trace, config, shards=2)
+        b = run_sharded(_colocated(), trace, config, shards=2)
+        assert a == b
+
+    def test_accepts_lazy_traces(self):
+        config = SimConfig(max_sim_time=600)
+        trace_config = TraceConfig(rate=10, duration=30, output_tokens=40)
+        report = run_sharded(
+            _colocated(), iter_trace(trace_config, seed=1, window=10.0),
+            config, shards=2,
+        )
+        assert report.completed == len(list(iter_trace(trace_config, seed=1, window=10.0)))
+
+    def test_failure_seeds_derive_per_shard(self):
+        from repro.cluster.failures import FailureModel
+
+        trace = _trace(rate=8, duration=30)
+        config = SimConfig(max_sim_time=600)
+        model = FailureModel(mtbf=120.0, mttr=30.0)
+        a = run_sharded(_pools(), trace, config, shards=2,
+                        failure_model=model, failure_seed=0)
+        b = run_sharded(_pools(), trace, config, shards=2,
+                        failure_model=model, failure_seed=1)
+        assert a == run_sharded(_pools(), trace, config, shards=2,
+                                failure_model=model, failure_seed=0)
+        assert a != b  # different base seeds draw different shard schedules
+
+    def test_economics_sum_across_shards(self):
+        trace = _trace()
+        config = SimConfig(max_sim_time=600)
+        report = run_sharded(_pools(), trace, config, shards=4)
+        assert report.gpu_seconds > 0
+        assert report.usd_cost > 0
+        assert report.usd_per_mtoken == pytest.approx(
+            report.usd_cost / (report.output_tokens_per_s * report.duration / 1e6),
+            rel=1e-6,
+        )
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(SpecError):
+            run_sharded(_pools(), [], shards=0)
+
+
+class TestMergeShardResults:
+    def test_rejects_empty(self):
+        with pytest.raises(SpecError):
+            merge_shard_results([])

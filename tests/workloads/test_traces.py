@@ -149,3 +149,68 @@ class TestPiecewiseTrace:
 
         with pytest.raises(SpecError):
             generate_piecewise_trace([])
+
+
+class TestIterTrace:
+    """Chunked (windowed) trace generation and lazy merging."""
+
+    def test_deterministic_and_arrival_ordered(self):
+        from repro.workloads.traces import iter_trace
+
+        config = TraceConfig(rate=8, duration=45, output_tokens=60)
+        a = list(iter_trace(config, seed=5, window=10.0))
+        b = list(iter_trace(config, seed=5, window=10.0))
+        assert a == b
+        assert len(a) > 100
+        assert all(x.arrival <= y.arrival for x, y in zip(a, a[1:]))
+        assert [r.request_id for r in a] == list(range(len(a)))
+        assert all(0.0 <= r.arrival < config.duration for r in a)
+
+    def test_seed_and_window_sensitive(self):
+        from repro.workloads.traces import iter_trace
+
+        config = TraceConfig(rate=8, duration=30)
+        base = list(iter_trace(config, seed=5, window=10.0))
+        assert list(iter_trace(config, seed=6, window=10.0)) != base
+        assert list(iter_trace(config, seed=5, window=15.0)) != base
+
+    def test_matches_generate_trace_distribution(self):
+        from repro.workloads.traces import iter_trace
+
+        config = TraceConfig(rate=20, duration=120, output_tokens=80)
+        lazy = list(iter_trace(config, seed=2, window=30.0))
+        eager = generate_trace(config, seed=2)
+        # Different draws, same process: counts within Poisson noise and
+        # matching mean lengths (windowing must not bias either).
+        assert abs(len(lazy) - len(eager)) < 6 * np.sqrt(config.rate * config.duration)
+        lazy_mean = np.mean([r.output_tokens for r in lazy])
+        eager_mean = np.mean([r.output_tokens for r in eager])
+        assert abs(lazy_mean - eager_mean) / eager_mean < 0.15
+
+    def test_rejects_nonpositive_window(self):
+        from repro.workloads.traces import iter_trace
+
+        with pytest.raises(SpecError):
+            list(iter_trace(TraceConfig(rate=1, duration=5), window=0.0))
+
+    def test_imerge_matches_eager_merge(self):
+        from repro.workloads.traces import imerge_traces, merge_traces
+
+        a = generate_trace(TraceConfig(rate=3, duration=20), seed=0)
+        b = generate_trace(TraceConfig(rate=5, duration=20), seed=1)
+        lazy = list(imerge_traces(iter(a), iter(b)))
+        eager = merge_traces(a, b)
+        assert [r.arrival for r in lazy] == [r.arrival for r in eager]
+        assert [(r.prompt_tokens, r.output_tokens) for r in lazy] == [
+            (r.prompt_tokens, r.output_tokens) for r in eager
+        ]
+        assert [r.request_id for r in lazy] == list(range(len(a) + len(b)))
+
+    @given(seed=st.integers(0, 50), window=st.floats(5.0, 40.0))
+    @settings(max_examples=15, deadline=None)
+    def test_windowing_always_ordered_with_contiguous_ids(self, seed, window):
+        from repro.workloads.traces import iter_trace
+
+        trace = list(iter_trace(TraceConfig(rate=5, duration=60), seed=seed, window=window))
+        assert all(x.arrival <= y.arrival for x, y in zip(trace, trace[1:]))
+        assert [r.request_id for r in trace] == list(range(len(trace)))

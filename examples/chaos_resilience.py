@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Surviving failures: deadlines, retries, and checkpointed restarts.
+
+The paper's fault-tolerance claim is about what happens *after* a GPU
+dies: victims restart, clients retry, deadlines expire, goodput dips.
+This example takes one small deployment, kills a decode instance
+mid-run, and replays the same trace under three failure-response
+postures:
+
+- ``bare``        — no resilience layer: victims restart from prefill,
+                    nobody times out, throughput is the only metric.
+- ``resilient``   — deadlines + queue timeouts + capped exponential
+                    backoff with jitter: late work is shed and retried,
+                    goodput counts only completions inside the deadline.
+- ``checkpointed``— the same, plus 64-token checkpointed restarts priced
+                    through the service-time provider: victims resume
+                    instead of redoing their whole generation.
+
+For the full chaos suite (rack-scale blast radius, big vs Lite fleets,
+retry storms) see ``python -m repro chaos`` and
+``benchmarks/test_chaos_resilience.py``.
+
+Run:  python examples/chaos_resilience.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.report import simulation_table
+from repro.analysis.tables import format_table
+from repro.cluster.resilience import ResilienceConfig
+from repro.cluster.scheduler import InstanceSpec, PhasePools
+from repro.cluster.simulator import ServingSimulator, SimConfig
+from repro.hardware.gpu import H100
+from repro.workloads.models import LLAMA3_8B
+from repro.workloads.traces import TraceConfig, generate_trace
+
+TINY = os.environ.get("REPRO_EXAMPLE_TINY") == "1"  # CI smoke mode: tiny trace
+DURATION = 8.0 if TINY else 30.0
+FAIL_AT = 3.0
+REPAIR_S = 6.0 if TINY else 12.0
+
+
+def deployment() -> PhasePools:
+    return PhasePools(
+        prefill=InstanceSpec(LLAMA3_8B, H100, 1),
+        n_prefill=1,
+        decode=InstanceSpec(LLAMA3_8B, H100, 1),
+        n_decode=2,
+        max_prefill_batch=4,
+        max_decode_batch=32,
+    )
+
+
+def main() -> None:
+    trace = generate_trace(
+        TraceConfig(rate=40.0, duration=DURATION, output_tokens=300, output_spread=0.4),
+        seed=3,
+    )
+    failures = [(FAIL_AT, "decode", 0, REPAIR_S)]
+
+    def resilience(**kw) -> ResilienceConfig:
+        return ResilienceConfig(
+            deadline_s=8.0, queue_timeout_s=2.0, retry="exp_jitter", **kw
+        )
+
+    configs = {
+        "bare": None,
+        "resilient": resilience(),
+        # A fast checkpoint tier (1 TB/s) keeps the write tax negligible.
+        "checkpointed": resilience(checkpoint_interval=64, checkpoint_bandwidth=1e12),
+    }
+    reports = {
+        name: ServingSimulator(
+            deployment(), SimConfig(resilience=config), failures=failures
+        ).run(trace)
+        for name, config in configs.items()
+    }
+
+    print(f"decode instance 0 dies at t={FAIL_AT:g}s for {REPAIR_S:g}s "
+          f"({len(trace)} requests)\n")
+    print(simulation_table(reports, title="Throughput view (failure-blind)"))
+    print()
+    print(format_table(
+        ["posture", "goodput tok/s", "deadline missed", "timed out",
+         "retries", "MTTR s", "availability"],
+        [
+            [name, f"{r.goodput_tokens_per_s:.0f}", r.deadline_missed,
+             r.timed_out, r.retries, f"{r.mttr_s:.2f}", f"{r.availability:.4f}"]
+            for name, r in reports.items()
+            if configs[name] is not None
+        ],
+        title="Resilience view (what the failure actually cost)",
+    ))
+    resilient, ckpt = reports["resilient"], reports["checkpointed"]
+    delta = ckpt.goodput_tokens - resilient.goodput_tokens
+    print(
+        f"\ncheckpointed restarts recover {delta:+,} goodput tokens vs "
+        f"restart-from-prefill (MTTR {resilient.mttr_s:.2f}s -> {ckpt.mttr_s:.2f}s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

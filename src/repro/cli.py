@@ -15,6 +15,7 @@ Usage::
     python -m repro topology --gpus 128 --group 4  # fabric comparison table
     python -m repro autoscale --controllers static,reactive,slo \
         --rates 1,8,1 --segment 60               # static-vs-elastic economics
+    python -m repro chaos --scenario blast       # rack-failure blast radius
     python -m repro cache stats | clear          # on-disk result cache
 
 All subcommands print plain text and touch neither the network nor disk —
@@ -37,6 +38,11 @@ from .analysis.figures import (
 )
 from .analysis.report import experiment_report, simulation_table
 from .analysis.tables import format_table, render_fig3_panel, render_table1
+from .cluster.chaos import (
+    blast_radius_scenario,
+    checkpoint_scenario,
+    retry_storm_scenario,
+)
 from .cluster.control import (
     CONTROLLERS,
     ForecastController,
@@ -48,6 +54,7 @@ from .cluster.control import (
 from .cluster.failures import FailureModel
 from .cluster.placement import PLACERS, placement_hop_stats
 from .cluster.policies import POLICY_BUNDLES, ROUTING_POLICIES
+from .cluster.resilience import goodput_dip
 from .cluster.power_manager import ClusterPowerManager
 from .cluster.scheduler import ColocatedPool, InstanceSpec, PhasePools
 from .cluster.simulator import ColocatedSimulator, ServingSimulator, SimConfig
@@ -529,6 +536,79 @@ def _cmd_autoscale(args: argparse.Namespace) -> None:
         print(f"no controller met the P99-TTFT <= {args.slo_ttft:g}s SLO")
 
 
+def _resilience_table(reports, title: str) -> str:
+    """One row per report, resilience counters only (chaos verdicts)."""
+    rows = [
+        [
+            name,
+            r.completed,
+            f"{r.goodput_tokens_per_s:.0f}",
+            f"{r.slo_violation_rate:.3f}",
+            f"{r.deadline_miss_rate:.3f}",
+            r.timed_out,
+            r.load_shed,
+            r.retries,
+            r.abandoned,
+            f"{r.e2e_p99:.1f}",
+            f"{r.mttr_s:.2f}",
+            f"{r.availability:.4f}",
+        ]
+        for name, r in reports.items()
+    ]
+    headers = [
+        "scenario", "done", "goodput tok/s", "SVR", "miss", "timeout",
+        "shed", "retries", "abandoned", "e2e p99 s", "MTTR s", "avail",
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> None:
+    scenarios = (
+        ("blast", "checkpoint", "storm") if args.scenario == "all"
+        else (args.scenario,)
+    )
+    for key in scenarios:
+        if key == "blast":
+            reports = blast_radius_scenario(metrics=args.metrics)
+            print(_resilience_table(
+                reports, title="Blast radius: one rack dies for 45s"
+            ))
+            big = goodput_dip(reports["big/base"], reports["big/rack"])
+            lite = goodput_dip(reports["lite/base"], reports["lite/rack"])
+            print(
+                f"goodput dip from one rack failure: big {big:.1%}, "
+                f"lite {lite:.1%} "
+                f"({'smaller Lite blast radius' if lite < big else 'no separation'})"
+            )
+        elif key == "checkpoint":
+            reports = checkpoint_scenario(metrics=args.metrics)
+            print(_resilience_table(
+                reports, title="Checkpointed restarts vs restart-from-prefill"
+            ))
+            plain, ckpt = reports["plain"], reports["ckpt"]
+            print(
+                f"checkpointing: goodput {plain.goodput_tokens:,} -> "
+                f"{ckpt.goodput_tokens:,} tokens, "
+                f"MTTR {plain.mttr_s:.2f}s -> {ckpt.mttr_s:.2f}s"
+            )
+        else:
+            reports = retry_storm_scenario(metrics=args.metrics)
+            print(_resilience_table(
+                reports, title="Retry storm: 400 req/s burst, three client policies"
+            ))
+            fixed, expj = reports["fixed"], reports["exp_jitter"]
+            recovered = (
+                expj.slo_violation_rate < fixed.slo_violation_rate
+                and expj.e2e_p99 < fixed.e2e_p99
+            )
+            print(
+                f"storm recovery: fixed backoff SVR {fixed.slo_violation_rate:.3f} "
+                f"(e2e p99 {fixed.e2e_p99:.0f}s) vs exp_jitter "
+                f"{expj.slo_violation_rate:.3f} ({expj.e2e_p99:.0f}s) — "
+                f"{'jittered backoff recovers' if recovered else 'no separation'}"
+            )
+
+
 def _cmd_cache(args: argparse.Namespace) -> None:
     cache = ResultCache(args.cache_dir)
     if args.action == "clear":
@@ -722,6 +802,18 @@ def build_parser() -> argparse.ArgumentParser:
     autoscale.add_argument("--cap", default=None,
                            help="power_cap window as start:end:watts")
     autoscale.set_defaults(fn=_cmd_autoscale)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay scripted failures and measure blast radius / recovery",
+    )
+    chaos.add_argument("--scenario", default="all",
+                       choices=("all", "blast", "checkpoint", "storm"),
+                       help="which canned chaos scenario(s) to run")
+    chaos.add_argument("--metrics", default="exact",
+                       choices=("exact", "streaming"),
+                       help="exact per-request metrics, or constant-memory sketches")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     cache_cmd = sub.add_parser(
         "cache", help="inspect or clear the on-disk result cache"

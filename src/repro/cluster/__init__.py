@@ -21,6 +21,11 @@ Makes Section 3's systems opportunities executable:
   inside the event loop to spawn, drain, and DVFS-throttle instances.
 - :mod:`repro.cluster.economics` — gpu-seconds, joules, and $/Mtoken
   accounting behind every report's cost fields.
+- :mod:`repro.cluster.resilience` — the failure-response loop: deadlines,
+  client retries, checkpointed restarts, brown-out degradation, and the
+  goodput / MTTR / availability accounting.
+- :mod:`repro.cluster.chaos` — scripted failure scenarios measuring blast
+  radius, checkpoint recovery, and retry storms (``repro chaos``).
 - :mod:`repro.cluster.simulator` — the serving simulators (one per
   deployment shape) whose service times come from the analytical model.
 """
@@ -65,6 +70,18 @@ from .control import (
     get_controller,
 )
 from .economics import EconomicsConfig, EconomicsReport, PoolEconomics, pool_economics
+from .resilience import (
+    RETRY_POLICIES,
+    BrownoutConfig,
+    ExpJitterRetry,
+    FixedRetry,
+    NoRetry,
+    ResilienceConfig,
+    RetryPolicy,
+    get_retry_policy,
+    goodput_dip,
+)
+from .chaos import blast_radius_scenario, checkpoint_scenario, retry_storm_scenario
 from .engine import (
     AbstractServiceTimeProvider,
     EventQueue,
@@ -135,6 +152,18 @@ __all__ = [
     "SLOController",
     "StaticController",
     "get_controller",
+    "RETRY_POLICIES",
+    "BrownoutConfig",
+    "ExpJitterRetry",
+    "FixedRetry",
+    "NoRetry",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "get_retry_policy",
+    "goodput_dip",
+    "blast_radius_scenario",
+    "checkpoint_scenario",
+    "retry_storm_scenario",
     "EconomicsConfig",
     "EconomicsReport",
     "PoolEconomics",

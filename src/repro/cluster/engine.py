@@ -649,6 +649,25 @@ class _EngineBase:
         self.ttft: Dict[int, float] = {}
         self.restarts: Dict[int, int] = {}
         self.requeued = 0
+        # Distinct requests that restarted at least once, counted at the
+        # moment of first restart.  Unlike ``len(restarts)`` this survives
+        # the streaming path's entry pruning, so exact and streaming runs
+        # (and sharded merges, which sum it over disjoint id sets) report
+        # the same number.
+        self.restarted_total = 0
+        # The resilience runtime (deadlines / retries / checkpoints /
+        # brown-out) — None by default, in which case no hook below runs
+        # and the event stream is bit-identical to the goldens.  Deferred
+        # import: resilience imports this module for the provider ABC.
+        self.resilience = None
+        resilience_config = getattr(config, "resilience", None)
+        if resilience_config is not None:
+            from .resilience import ResilienceRuntime
+
+            self.resilience = ResilienceRuntime(resilience_config)
+            self.resilience.bind(
+                lambda at, request: self.events.push(at, "retry", (request,))
+            )
         # Integer counters maintained in both metric modes: the arrival
         # count replaces ``len(trace)`` for iterator traces, and the output
         # token sum replaces the economics pass over ``completed`` (the
@@ -675,25 +694,40 @@ class _EngineBase:
             # controller it would just accumulate for the whole run.
             if self.controller is not None:
                 self._window_ttfts.append(value)
+            if self.resilience is not None:
+                self.resilience.note_ttft(value)
 
     def _record_restart(self, request: Request) -> None:
-        self.restarts[request.request_id] = self.restarts.get(request.request_id, 0) + 1
+        count = self.restarts.get(request.request_id)
+        if count is None:
+            count = 0
+            self.restarted_total += 1
+        self.restarts[request.request_id] = count + 1
         self.requeued += 1
 
     def _complete(self, seq: ActiveSequence, finish: float, mean_tbt: float) -> None:
         request = seq.request
         if self.controller is not None:
             self._window_tbts.append(mean_tbt)
-        self.output_token_count += request.output_tokens
+        output_tokens = request.output_tokens
+        if self.resilience is not None:
+            # Checkpoint credit: tokens generated before a checkpointed
+            # restart, counted once at the final incarnation's completion.
+            output_tokens += self.resilience.on_complete(
+                request, finish, self.ttft.get(request.request_id, 0.0), mean_tbt
+            )
+        self.output_token_count += output_tokens
         if self.metrics is not None:
             # Pop, don't get: completed requests never return, so dropping
-            # the TTFT entry keeps the dict bounded by in-flight requests.
+            # the TTFT (and restart-count) entries keeps both dicts bounded
+            # by in-flight requests.
             self.metrics.record(
                 ttft=self.ttft.pop(request.request_id, 0.0),
                 mean_tbt=mean_tbt,
                 e2e=finish - request.arrival,
-                output_tokens=request.output_tokens,
+                output_tokens=output_tokens,
             )
+            self.restarts.pop(request.request_id, None)
             return
         self.completed.append(
             CompletedRequest(
@@ -704,6 +738,31 @@ class _EngineBase:
                 restarts=self.restarts.get(request.request_id, 0),
             )
         )
+
+    def _on_retry(self, now: float, payload: tuple) -> None:
+        """A client backoff elapsed: the request re-enters the front door.
+
+        A dedicated event kind — *not* ``"arrival"`` — because the run
+        loop feeds iterator traces one request per arrival pop; a retry
+        masquerading as an arrival would over-consume the trace.
+        """
+        (request,) = payload
+        self.resilience.on_retry_fired()
+        self._accept_request(request, now)
+
+    def _accept_request(self, request: Request, now: float) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _instance_seconds(self, duration: float) -> float:
+        """Provisioned instance-seconds inside ``duration`` (availability base)."""
+        total = 0.0
+        for state in self._all_states():
+            end = min(state.retired_at, duration)
+            total += max(0.0, end - state.spawned_at)
+        return total
+
+    def _all_states(self) -> list:  # pragma: no cover - abstract
+        raise NotImplementedError
 
     def _feed_arrival(self, arrival_iter: Iterator[Request]) -> None:
         request = next(arrival_iter, None)
@@ -920,6 +979,7 @@ class PhaseSplitEngine(_EngineBase):
     def handlers(self):
         return {
             "arrival": self._on_arrival,
+            "retry": self._on_retry,
             "prefill_done": self._on_prefill_done,
             "decode_iter": self._on_decode_iter,
             "decode_admit": self._on_decode_admit,
@@ -936,6 +996,9 @@ class PhaseSplitEngine(_EngineBase):
         if pool == "decode":
             return self.decode_states
         raise SimulationError(f"unknown pool '{pool}' (have prefill/decode)")
+
+    def _all_states(self) -> list:
+        return [*self.prefill_states, *self.decode_states]
 
     def _providers(self) -> List[AbstractServiceTimeProvider]:
         return [self.prefill_provider, self.decode_provider]
@@ -1004,6 +1067,8 @@ class PhaseSplitEngine(_EngineBase):
     # --- dispatch ----------------------------------------------------------
 
     def _dispatch_prefill(self, time: float) -> None:
+        if self.resilience is not None:
+            self.resilience.sweep_queue(self.prefill_queue, time)
         if not self.prefill_queue:
             return
         order = self.prefill_routing.order([s.busy_time for s in self.prefill_states])
@@ -1022,6 +1087,8 @@ class PhaseSplitEngine(_EngineBase):
             self.events.push(time + latency, "prefill_done", (idx, tuple(batch)))
 
     def _admit_decode(self, time: float) -> None:
+        if self.resilience is not None:
+            self.resilience.sweep_queue(self.decode_queue, time)
         if not self.decode_queue:
             return
         # Loads double as each instance's KV budget: admissions to one
@@ -1053,6 +1120,13 @@ class PhaseSplitEngine(_EngineBase):
 
     def _on_arrival(self, now: float, payload: tuple) -> None:
         (request,) = payload
+        self._accept_request(request, now)
+
+    def _accept_request(self, request: Request, now: float) -> None:
+        if self.resilience is not None:
+            request = self.resilience.admit(request, now, len(self.prefill_queue))
+            if request is None:
+                return
         self.prefill_queue.append(request)
         self._dispatch_prefill(now)
 
@@ -1159,15 +1233,40 @@ class PhaseSplitEngine(_EngineBase):
             # An in-flight batch still finishes (its completion event is
             # already queued); prefill state is lost only for queued work.
             state = self.prefill_states[index]
+            previous_down = state.down_until
             state.down_until = max(state.down_until, now + duration)
+            if self.resilience is not None:
+                self.resilience.on_failure_hit(
+                    now, duration, (),
+                    max(0.0, state.down_until - max(previous_down, now)),
+                )
         else:
             inst = self.decode_states[index]
+            previous_down = inst.down_until
             inst.down_until = max(inst.down_until, now + duration)
             inst.running = False
-            victims = [seq.request for seq in inst.active]  # KV lost
+            runtime = self.resilience
+            if runtime is None:
+                victims = [seq.request for seq in inst.active]  # KV lost
+            else:
+                # An expired victim is shed, not requeued — its end-to-end
+                # budget is already gone; the rest resume from their last
+                # checkpoint (restart-from-prefill when checkpointing is
+                # off or no interval completed yet).
+                victims = []
+                for seq in inst.active:
+                    if runtime.expired_deadline(seq.request, now):
+                        runtime.shed(seq.request, now, "deadline")
+                    else:
+                        victims.append(runtime.resume_request(seq.request, seq.generated))
             self.policies.requeue.requeue_all(victims, self.prefill_queue)
             for request in victims:
                 self._record_restart(request)
+            if runtime is not None:
+                runtime.on_failure_hit(
+                    now, duration, [r.request_id for r in victims],
+                    max(0.0, inst.down_until - max(previous_down, now)),
+                )
             inst.active.clear()
             _clear_iter_log(inst)
             inst.occupied = 0
@@ -1226,6 +1325,7 @@ class ColocatedEngine(_EngineBase):
     def handlers(self):
         return {
             "arrival": self._on_arrival,
+            "retry": self._on_retry,
             "iter": self._on_iter,
             "admit": self._on_admit,
             "failure": self._on_failure,
@@ -1237,6 +1337,9 @@ class ColocatedEngine(_EngineBase):
 
     def _providers(self) -> List[AbstractServiceTimeProvider]:
         return [self.provider]
+
+    def _all_states(self) -> list:
+        return list(self.states)
 
     def _has_pending_work(self) -> bool:
         return bool(self.pending or any(s.has_work() for s in self.states))
@@ -1281,6 +1384,8 @@ class ColocatedEngine(_EngineBase):
     # --- dispatch ----------------------------------------------------------
 
     def _dispatch(self, time: float) -> None:
+        if self.resilience is not None:
+            self.resilience.sweep_queue(self.pending, time)
         if not self.pending:
             return
         if self.fast:
@@ -1303,6 +1408,13 @@ class ColocatedEngine(_EngineBase):
 
     def _on_arrival(self, now: float, payload: tuple) -> None:
         (request,) = payload
+        self._accept_request(request, now)
+
+    def _accept_request(self, request: Request, now: float) -> None:
+        if self.resilience is not None:
+            request = self.resilience.admit(request, now, len(self.pending))
+            if request is None:
+                return
         self.pending.append(request)
         self._dispatch(now)
 
@@ -1405,18 +1517,45 @@ class ColocatedEngine(_EngineBase):
         if index >= len(self.states) or self.states[index].retired:
             return
         inst = self.states[index]
+        previous_down = inst.down_until
         inst.down_until = max(inst.down_until, now + duration)
         inst.running = False
-        lost = [seq.request for seq in inst.active]
-        if inst.current is not None:
-            lost.append(inst.current.request)
+        runtime = self.resilience
+        if runtime is None:
+            lost = [seq.request for seq in inst.active]
+            if inst.current is not None:
+                lost.append(inst.current.request)
+            backlog = [partial.request for partial in inst.backlog]
+        else:
+            # Expired victims (and expired backlog) are shed, not requeued;
+            # surviving decode victims resume from their last checkpoint.
+            # A partially chunked prompt has generated nothing, so it
+            # restarts as-is.
+            candidates = [(seq.request, seq.generated) for seq in inst.active]
+            if inst.current is not None:
+                candidates.append((inst.current.request, 0))
+            lost = []
+            for request, generated in candidates:
+                if runtime.expired_deadline(request, now):
+                    runtime.shed(request, now, "deadline")
+                else:
+                    lost.append(runtime.resume_request(request, generated))
+            backlog = []
+            for partial in inst.backlog:
+                if runtime.expired_deadline(partial.request, now):
+                    runtime.shed(partial.request, now, "deadline")
+                else:
+                    backlog.append(partial.request)
         for request in lost:  # KV / partial prefill lost: a real restart
             self._record_restart(request)
         # One order-preserving batch: real victims ahead of the backlog
         # (admitted but never chunked — no work lost, no restart counted).
-        self.policies.requeue.requeue_all(
-            lost + [partial.request for partial in inst.backlog], self.pending
-        )
+        self.policies.requeue.requeue_all(lost + backlog, self.pending)
+        if runtime is not None:
+            runtime.on_failure_hit(
+                now, duration, [r.request_id for r in lost],
+                max(0.0, inst.down_until - max(previous_down, now)),
+            )
         inst.active.clear()
         _clear_iter_log(inst)
         inst.backlog.clear()

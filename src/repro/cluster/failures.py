@@ -26,6 +26,12 @@ rack power domain — and resolves each part's blast radius through a
 :class:`~repro.cluster.placement.Placement` onto the serving instances it
 downs, emitting the same ``(time, pool, index, duration)`` tuples the
 engines consume.
+
+This module decides *what breaks*; what happens next — deadlines, client
+retries, checkpointed restarts, brown-out shedding, and the goodput/MTTR/
+availability accounting — lives in :mod:`repro.cluster.resilience`, and
+the canned failure scenarios that measure blast radius end-to-end are in
+:mod:`repro.cluster.chaos` (``python -m repro chaos``).
 """
 
 from __future__ import annotations

@@ -62,6 +62,7 @@ from .failures import (
 )
 from .placement import Placement, PoolShape, place
 from .policies import PolicyBundle, get_policy_bundle
+from .resilience import ResilienceConfig, wrap_checkpoint_writes
 from .scheduler import ColocatedPool, PhasePools
 
 __all__ = [
@@ -230,6 +231,10 @@ class SimConfig:
     ``CompletedRequest`` per request: percentiles become ≤1%-error
     estimates, counters stay exact, and memory no longer grows with trace
     length.  The default ``"exact"`` is bit-identical to the goldens.
+    ``resilience`` attaches a :class:`~repro.cluster.resilience.
+    ResilienceConfig` — deadlines, client retries, checkpointed restarts,
+    and brown-out load shedding; ``None`` (the default) builds none of it
+    and stays bit-identical to the goldens.
     """
 
     max_sim_time: float = 3600.0
@@ -238,6 +243,7 @@ class SimConfig:
     cache_service_times: bool = True
     fast_engine: bool = True
     metrics: str = "exact"
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_sim_time <= 0:
@@ -248,6 +254,8 @@ class SimConfig:
             raise SpecError("context_bucket must be at least 1")
         if self.metrics not in ("exact", "streaming"):
             raise SpecError("metrics must be 'exact' or 'streaming'")
+        if self.resilience is not None and not isinstance(self.resilience, ResilienceConfig):
+            raise SpecError("resilience must be a ResilienceConfig or None")
 
 
 @dataclass(frozen=True)
@@ -289,6 +297,24 @@ class SimReport:
     usd_per_mtoken: float = 0.0
     spawned_instances: int = 0
     retired_instances: int = 0
+    # Resilience block (defaults match a run without a ResilienceConfig;
+    # see repro.cluster.resilience.RESILIENCE_FIELDS).  ``goodput_tokens``
+    # counts output tokens from requests that met their deadline and SLO;
+    # ``availability`` is 1 - downtime-weighted instance-seconds lost.
+    deadline_missed: int = 0
+    timed_out: int = 0
+    load_shed: int = 0
+    truncated: int = 0
+    retries: int = 0
+    abandoned: int = 0
+    goodput_tokens: int = 0
+    goodput_tokens_per_s: float = 0.0
+    slo_violations: int = 0
+    slo_violation_rate: float = 0.0
+    deadline_miss_rate: float = 0.0
+    failure_hits: int = 0
+    mttr_s: float = 0.0
+    availability: float = 1.0
 
     def describe(self) -> str:
         """Multi-line human-readable summary."""
@@ -314,18 +340,32 @@ class SimReport:
                     f", {self.spawned_instances} spawned / "
                     f"{self.retired_instances} retired"
                 )
+        sheds = self.deadline_missed + self.timed_out + self.load_shed
+        if self.failure_hits or self.retries or sheds:
+            text += (
+                f"\n  resilience: goodput {self.goodput_tokens_per_s:.0f} tok/s, "
+                f"{self.deadline_missed} deadline-missed / {self.timed_out} timed-out / "
+                f"{self.load_shed} shed, {self.retries} retries "
+                f"({self.abandoned} abandoned), "
+                f"MTTR {self.mttr_s:.1f}s, availability {self.availability:.4f}"
+            )
         return text
 
 
 def _build_report(
     completed: List[CompletedRequest],
     arrivals: int,
+    out_tokens: int,
     duration: float,
     prefill_busy: Sequence[float],
     decode_busy: Sequence[float],
     requeued: int,
     restarted: int,
 ) -> SimReport:
+    # ``out_tokens`` is the engine's counter rather than a sum over
+    # ``completed``: the two agree bit-for-bit on the default path, but
+    # checkpointed restarts shrink a resumed request's ``output_tokens``
+    # and pay the difference back as credit only the counter sees.
     duration = max(duration, 1e-9)
     nan = float("nan")
     if completed:
@@ -338,10 +378,8 @@ def _build_report(
         )
         del tbt_p50_unused
         tbt_mean = float(np.mean(metrics[:, 1]))
-        out_tokens = sum(c.request.output_tokens for c in completed)
     else:
         ttft_p50 = ttft_p99 = tbt_mean = tbt_p99 = e2e_p50 = e2e_p99 = nan
-        out_tokens = 0
     prefill_util = float(np.mean(prefill_busy) / duration)
     decode_util = float(np.mean(decode_busy) / duration)
     return SimReport(
@@ -410,17 +448,36 @@ def _report_from_engine(
     prefill_busy: Sequence[float],
     decode_busy: Sequence[float],
 ) -> SimReport:
-    """Dispatch to the exact or streaming report builder for a run engine."""
+    """Dispatch to the exact or streaming report builder for a run engine.
+
+    Restart counts come from ``engine.restarted_total`` (incremented once
+    per distinct request) rather than ``len(engine.restarts)`` — the
+    streaming path prunes the per-request dict at completion to bound
+    memory, and per-shard totals must survive that pruning so sharded and
+    unsharded runs agree (the ids are disjoint across shards, so summing
+    distinct-request counts is exact).
+    """
     if engine.metrics is not None:
-        return _build_streaming_report(
+        report = _build_streaming_report(
             engine.metrics, engine.arrivals, engine.output_token_count,
             engine.work_time, prefill_busy, decode_busy,
-            engine.requeued, len(engine.restarts),
+            engine.requeued, engine.restarted_total,
         )
-    return _build_report(
-        engine.completed, engine.arrivals, engine.work_time,
-        prefill_busy, decode_busy, engine.requeued, len(engine.restarts),
-    )
+    else:
+        report = _build_report(
+            engine.completed, engine.arrivals, engine.output_token_count,
+            engine.work_time, prefill_busy, decode_busy,
+            engine.requeued, engine.restarted_total,
+        )
+    if engine.resilience is not None:
+        fields = engine.resilience.report_fields(
+            report.duration,
+            engine._instance_seconds(report.duration),
+            arrivals=engine.arrivals,
+            completed=report.completed,
+        )
+        report = replace(report, **fields)
+    return report
 
 
 def _failure_limit(
@@ -580,6 +637,12 @@ class ServingSimulator:
         self.decode_provider = _make_provider(
             pools.decode, self.config, network_model, topology, self.placement, "decode"
         )
+        # Checkpointed restarts stream KV to storage during decode; the
+        # wrapper is a no-op (returns the provider unchanged) unless a
+        # checkpoint interval is configured.
+        self.decode_provider = wrap_checkpoint_writes(
+            self.decode_provider, pools.decode, self.config.resilience
+        )
 
     def run(self, trace: "Sequence[Request] | Iterable[Request]") -> SimReport:
         """Simulate the trace to completion (or the time horizon).
@@ -693,6 +756,11 @@ class ColocatedSimulator:
         )
         self.provider = _make_provider(
             pool.instance, self.config, network_model, topology, self.placement, "colocated"
+        )
+        # No-op unless a checkpoint interval is configured (see the
+        # phase-split simulator for the rationale).
+        self.provider = wrap_checkpoint_writes(
+            self.provider, pool.instance, self.config.resilience
         )
 
     def run(self, trace: "Sequence[Request] | Iterable[Request]") -> SimReport:

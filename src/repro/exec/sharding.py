@@ -143,6 +143,42 @@ def _pool_weights(deployment: Any) -> Tuple[int, int]:
     return deployment.n_prefill, deployment.n_decode
 
 
+def _shard_scripted_failures(
+    deployment: Any, n_shards: int, failures: Sequence[Tuple[float, str, int, float]]
+) -> List[List[Tuple[float, str, int, float]]]:
+    """Map whole-deployment scripted failures onto shard-local indices.
+
+    Uses the same even split as :func:`shard_deployment`, so global
+    instance ``index`` of ``pool`` lands on exactly the shard that owns
+    that instance — a parity prerequisite: ``shards=N`` must hit the same
+    hardware at the same times as ``shards=1``.
+    """
+    from ..cluster.scheduler import ColocatedPool
+
+    def split(count: int) -> List[int]:
+        base, rem = divmod(count, n_shards)
+        return [base + (1 if i < rem else 0) for i in range(n_shards)]
+
+    if isinstance(deployment, ColocatedPool):
+        sizes = {"colocated": split(deployment.n_instances)}
+    else:
+        sizes = {"prefill": split(deployment.n_prefill), "decode": split(deployment.n_decode)}
+    out: List[List[Tuple[float, str, int, float]]] = [[] for _ in range(n_shards)]
+    for time, pool, index, duration in failures:
+        if pool not in sizes:
+            pools = "/".join(f"'{name}'" for name in sizes)
+            raise SpecError(f"unknown failure pool '{pool}' (expected {pools})")
+        remaining = index
+        for shard, size in enumerate(sizes[pool]):
+            if remaining < size:
+                out[shard].append((time, pool, remaining, duration))
+                break
+            remaining -= size
+        else:
+            raise SpecError(f"failure index {index} out of range for pool '{pool}'")
+    return out
+
+
 def _run_shard(
     deployment: Any,
     trace: Tuple,
@@ -150,6 +186,7 @@ def _run_shard(
     policies: Any,
     failure_model: Any,
     failure_seed: int,
+    failures: Sequence[Tuple[float, str, int, float]] = (),
 ) -> Dict[str, Any]:
     """Simulate one shard; module-level so worker processes can pickle it."""
     from ..cluster.scheduler import ColocatedPool
@@ -164,6 +201,7 @@ def _run_shard(
         policies=policies,
         failure_model=failure_model,
         failure_seed=failure_seed,
+        failures=failures,
     )
     report = sim.run(list(trace))
     prefill_n, decode_n = _pool_weights(deployment)
@@ -183,6 +221,14 @@ def merge_shard_results(parts: Sequence[Dict[str, Any]]) -> Any:
     recombine from reconstructed busy time; latency percentiles come from
     the merged quantile sketches; economics totals sum, with
     ``usd_per_mtoken`` re-amortized over the merged token count.
+
+    Resilience fields follow the same discipline: event counters
+    (sheds/retries/goodput tokens/failure hits) are integer sums — valid
+    because shard request-id sets are disjoint, so per-shard
+    distinct-request counts (``restarted_requests``) sum exactly; the
+    rates (goodput/s, SLO-violation, deadline-miss) are recomputed from
+    the merged sums; ``mttr_s`` is the failure-hit-weighted mean; and
+    ``availability`` is the instance-second-weighted mean.
     """
     from ..analysis.streaming import StreamingMetrics
     from ..cluster.simulator import SimReport
@@ -211,6 +257,28 @@ def merge_shard_results(parts: Sequence[Dict[str, Any]]) -> Any:
         nan = float("nan")
         ttft_p50 = ttft_p99 = tbt_mean = tbt_p99 = e2e_p50 = e2e_p99 = nan
     usd_cost = sum(r.usd_cost for r in reports)
+    arrivals = metrics.completed + sum(r.dropped for r in reports)
+    goodput_tokens = sum(r.goodput_tokens for r in reports)
+    slo_violations = sum(r.slo_violations for r in reports)
+    deadline_missed = sum(r.deadline_missed for r in reports)
+    failure_hits = sum(r.failure_hits for r in reports)
+    # Weighted means: MTTR by each shard's failure hits; availability by
+    # instance-seconds (duration × instances — the same scale the shards
+    # normalized their own downtime by).
+    mttr_s = (
+        sum(r.mttr_s * r.failure_hits for r in reports) / failure_hits
+        if failure_hits
+        else 0.0
+    )
+    inst_seconds = [
+        r.duration * (p["prefill_n"] + p["decode_n"]) for r, p in zip(reports, parts)
+    ]
+    total_inst_seconds = sum(inst_seconds)
+    availability = (
+        sum(r.availability * w for r, w in zip(reports, inst_seconds)) / total_inst_seconds
+        if total_inst_seconds > 0
+        else 1.0
+    )
     return SimReport(
         completed=metrics.completed,
         dropped=sum(r.dropped for r in reports),
@@ -234,6 +302,20 @@ def merge_shard_results(parts: Sequence[Dict[str, Any]]) -> Any:
         ),
         spawned_instances=sum(r.spawned_instances for r in reports),
         retired_instances=sum(r.retired_instances for r in reports),
+        deadline_missed=deadline_missed,
+        timed_out=sum(r.timed_out for r in reports),
+        load_shed=sum(r.load_shed for r in reports),
+        truncated=sum(r.truncated for r in reports),
+        retries=sum(r.retries for r in reports),
+        abandoned=sum(r.abandoned for r in reports),
+        goodput_tokens=goodput_tokens,
+        goodput_tokens_per_s=goodput_tokens / duration,
+        slo_violations=slo_violations,
+        slo_violation_rate=slo_violations / metrics.completed if metrics.completed else 0.0,
+        deadline_miss_rate=deadline_missed / arrivals if arrivals else 0.0,
+        failure_hits=failure_hits,
+        mttr_s=mttr_s,
+        availability=availability,
     )
 
 
@@ -248,6 +330,7 @@ def run_sharded(
     failure_seed: int = 0,
     shard_policy: Union[str, Any] = "least-loaded",
     workers: int = 1,
+    failures: Sequence[Tuple[float, str, int, float]] = (),
 ) -> Any:
     """Simulate ``trace`` as ``shards`` independent sub-runs and merge.
 
@@ -260,9 +343,12 @@ def run_sharded(
     are bit-identical to ``workers=1`` because the merge consumes shard
     results in shard order regardless of scheduling.
 
-    ``trace`` may be any iterable (e.g.
-    :func:`~repro.workloads.traces.iter_trace`); it is consumed once.
-    Topology, controller, and scripted-failure knobs are whole-cluster
+    ``failures`` accepts the simulators' scripted ``(time, pool, index,
+    duration)`` tuples with *whole-deployment* indices; each maps onto the
+    shard owning that instance (:func:`_shard_scripted_failures`), so
+    restart/retry counters match the unsharded run exactly.  ``trace`` may
+    be any iterable (e.g. :func:`~repro.workloads.traces.iter_trace`); it
+    is consumed once.  Topology and controller knobs remain whole-cluster
     concerns and are not supported here — use the unsharded simulators.
     """
     from ..cluster.simulator import SimConfig
@@ -274,6 +360,7 @@ def run_sharded(
     sub_deployments = shard_deployment(deployment, shards)
     weights = [d.total_gpus for d in sub_deployments]
     sub_traces = shard_requests(trace, shards, policy=shard_policy, weights=weights)
+    sub_failures = _shard_scripted_failures(deployment, shards, failures)
     jobs = [
         Job(
             fn=_run_shard,
@@ -284,6 +371,7 @@ def run_sharded(
                 policies,
                 failure_model,
                 derive_seed(failure_seed, "shard", i),
+                tuple(sub_failures[i]),
             ),
             label=f"shard-{i}",
         )

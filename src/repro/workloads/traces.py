@@ -20,7 +20,7 @@ import hashlib
 import heapq
 import math
 from dataclasses import dataclass, replace
-from typing import Iterable, Iterator, List, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -43,18 +43,29 @@ class Request:
     prefill length; ``output_tokens`` the number of decode iterations the
     request will run before completing (at least 1 — the simulators assume
     every request decodes at least one token).
+
+    The resilience layer (:mod:`repro.cluster.resilience`) reads two
+    optional fields: ``priority`` (0 = most important; brown-out modes
+    shed from the highest numbers down) and ``deadline`` — an end-to-end
+    budget in seconds from ``arrival``, after which the request is shed
+    and counted as a deadline miss.  Both default to inert values and are
+    excluded from :func:`trace_fingerprint`.
     """
 
     request_id: int
     arrival: float
     prompt_tokens: int
     output_tokens: int
+    priority: int = 0
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.arrival < 0:
             raise SpecError("arrival must be non-negative")
         if self.prompt_tokens <= 0 or self.output_tokens <= 0:
             raise SpecError("prompt_tokens and output_tokens must be positive")
+        if self.deadline is not None and self.deadline <= 0:
+            raise SpecError("deadline must be positive (seconds from arrival)")
 
     @property
     def total_tokens(self) -> int:
@@ -222,12 +233,7 @@ def imerge_traces(*traces: Iterable[Request]) -> Iterator[Request]:
     """
     merged = heapq.merge(*traces, key=lambda r: r.arrival)
     for i, r in enumerate(merged):
-        yield Request(
-            request_id=i,
-            arrival=r.arrival,
-            prompt_tokens=r.prompt_tokens,
-            output_tokens=r.output_tokens,
-        )
+        yield replace(r, request_id=i)
 
 
 def generate_piecewise_trace(
@@ -296,22 +302,16 @@ def merge_traces(*traces: Sequence[Request]) -> List[Request]:
     ordered = sorted(
         (r for trace in traces for r in trace), key=lambda r: (r.arrival, r.request_id)
     )
-    return [
-        Request(
-            request_id=i,
-            arrival=r.arrival,
-            prompt_tokens=r.prompt_tokens,
-            output_tokens=r.output_tokens,
-        )
-        for i, r in enumerate(ordered)
-    ]
+    return [replace(r, request_id=i) for i, r in enumerate(ordered)]
 
 
 def trace_fingerprint(trace: Sequence[Request]) -> str:
     """Content hash of a trace, for experiment cache keys.
 
-    Covers every field of every request; arrivals hash via ``float.hex`` so
-    the fingerprint is exact (two traces collide only if identical).
+    Covers the workload-identity fields of every request (id, arrival,
+    prompt and output tokens — not the resilience annotations); arrivals
+    hash via ``float.hex`` so the fingerprint is exact (two traces collide
+    only if identical).
 
     >>> a = generate_trace(TraceConfig(rate=5, duration=10), seed=1)
     >>> trace_fingerprint(a) == trace_fingerprint(list(a))

@@ -189,6 +189,86 @@ class TestRunSharded:
             run_sharded(_pools(), [], shards=0)
 
 
+class TestResilienceParity:
+    """Satellite: shards=N and shards=1 agree on restart/retry counters."""
+
+    CONFIG_KW = dict(
+        deadline_s=20.0,
+        queue_timeout_s=3.0,
+        retry="fixed",
+        checkpoint_interval=16,
+    )
+    #: One scripted outage per decode instance half, in whole-deployment
+    #: indices: shard 0 owns decode 0-1, shard 1 owns decode 2-3.
+    FAILURES = ((6.0, "decode", 0, 15.0), (9.0, "decode", 3, 15.0))
+
+    @staticmethod
+    def _heavy_trace():
+        # Decode-heavy enough that every instance holds live work when its
+        # scripted outage lands — real victims in both factorings.
+        return generate_trace(
+            TraceConfig(rate=20, duration=25, output_tokens=300), seed=7
+        )
+
+    def _run(self, shards, shard_policy="round-robin"):
+        from repro.cluster.resilience import ResilienceConfig
+
+        return run_sharded(
+            _pools(2, 4),
+            self._heavy_trace(),
+            SimConfig(max_sim_time=600, resilience=ResilienceConfig(**self.CONFIG_KW)),
+            shards=shards,
+            shard_policy=shard_policy,
+            failures=self.FAILURES,
+        )
+
+    def test_shards_1_matches_unsharded_exactly(self):
+        from repro.cluster.resilience import ResilienceConfig
+        from repro.cluster.simulator import ServingSimulator
+
+        sharded = self._run(1)
+        direct = ServingSimulator(
+            _pools(2, 4),
+            SimConfig(
+                max_sim_time=600,
+                metrics="streaming",
+                resilience=ResilienceConfig(**self.CONFIG_KW),
+            ),
+            failures=list(self.FAILURES),
+        ).run(self._heavy_trace())
+        for field in (
+            "completed", "restarted_requests", "requeued_on_failure", "retries",
+            "timed_out", "deadline_missed", "abandoned", "goodput_tokens",
+            "failure_hits", "slo_violations",
+        ):
+            assert getattr(sharded, field) == getattr(direct, field), field
+        assert sharded.mttr_s == pytest.approx(direct.mttr_s)
+        assert sharded.availability == pytest.approx(direct.availability)
+
+    def test_restart_counters_consistent_across_shardings(self):
+        one = self._run(1)
+        two = self._run(2)
+        # Request-id sets per shard are disjoint, so the distinct-request
+        # restart counter genuinely sums; both factorings must see real
+        # victims from their scripted outage.
+        assert one.failure_hits == two.failure_hits == len(self.FAILURES)
+        assert one.restarted_requests > 0 and two.restarted_requests > 0
+        assert two.restarted_requests <= two.requeued_on_failure
+        assert one.completed == two.completed
+        assert one.mttr_s > 0 and two.mttr_s > 0
+        assert 0 < two.availability < 1
+
+    def test_scripted_failures_reject_bad_indices(self):
+        with pytest.raises(SpecError):
+            run_sharded(
+                _pools(2, 4), [], shards=2, failures=[(1.0, "decode", 9, 5.0)]
+            )
+        with pytest.raises(SpecError):
+            run_sharded(
+                _pools(2, 4), [], shards=2, failures=[(1.0, "gpu", 0, 5.0)]
+            )
+
+
 class TestMergeShardResults:
     def test_rejects_empty(self):
         with pytest.raises(SpecError):

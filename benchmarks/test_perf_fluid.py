@@ -1,0 +1,317 @@
+"""Fluid-backend benchmark: accuracy pins, per-point speedup, two-tier sweep.
+
+Three claims, each measured against the event engine it screens for:
+
+1. **Accuracy** — on the golden configs of
+   ``benchmarks/test_serving_simulation.py`` (H100 and specialized-Lite
+   phase-split) plus the colocated golden shape, the fluid backend lands
+   within pinned relative error bounds of event truth: TTFT/e2e p99 within
+   stated bounds, throughput within ~5%, completed counts exact.
+2. **Speedup** — on the 10-minute hot-path trace of
+   ``benchmarks/test_perf_sweep.py``, one fluid evaluation costs >= 100x
+   less wall clock than one event evaluation (relaxed floor on shared CI
+   runners; the measured ratio is recorded either way).
+3. **Two-tier screening** — on a 5 rates x 5 sizes capacity grid,
+   :func:`repro.analysis.screening.screen_then_simulate` recovers the
+   full event sweep's argbest while event-simulating <= 25% of the points.
+
+Each run appends its numbers to ``benchmarks/BENCH_fluid.json`` — the
+trajectory artifact CI uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+from repro.analysis.screening import screen_then_simulate
+from repro.cluster.scheduler import ColocatedPool, InstanceSpec, PhasePools
+from repro.cluster.simulator import ColocatedSimulator, ServingSimulator, SimConfig
+from repro.hardware.gpu import H100, LITE_MEMBW, LITE_NETBW_FLOPS
+from repro.workloads.models import LLAMA3_8B, LLAMA3_70B
+from repro.workloads.traces import TraceConfig, generate_trace
+
+from conftest import emit
+
+ARTIFACT = Path(__file__).parent / "BENCH_fluid.json"
+
+GOLDEN_TRACE = generate_trace(
+    TraceConfig(rate=6.0, duration=40.0, output_tokens=150, output_spread=0.5), seed=13
+)
+
+
+def _record_artifact(section: str, payload: dict) -> None:
+    """Merge one benchmark section into the BENCH_fluid.json trajectory."""
+    record = {}
+    if ARTIFACT.exists():
+        try:
+            record = json.loads(ARTIFACT.read_text())
+        except (OSError, ValueError):
+            record = {}
+    record[section] = payload
+    ARTIFACT.write_text(json.dumps(record, indent=2, sort_keys=True))
+
+
+def _h100_deployment() -> PhasePools:
+    return PhasePools(
+        prefill=InstanceSpec(LLAMA3_70B, H100, 2),
+        n_prefill=2,
+        decode=InstanceSpec(LLAMA3_70B, H100, 2),
+        n_decode=2,
+        max_prefill_batch=4,
+        max_decode_batch=256,
+    )
+
+
+def _lite_deployment() -> PhasePools:
+    return PhasePools(
+        prefill=InstanceSpec(LLAMA3_70B, LITE_NETBW_FLOPS, 8),
+        n_prefill=2,
+        decode=InstanceSpec(LLAMA3_70B, LITE_MEMBW, 8),
+        n_decode=2,
+        max_prefill_batch=4,
+        max_decode_batch=256,
+    )
+
+
+def _colocated_deployment() -> ColocatedPool:
+    return ColocatedPool(
+        instance=InstanceSpec(LLAMA3_70B, H100, 2),
+        n_instances=4,
+        max_decode_batch=64,
+        chunk_tokens=512,
+    )
+
+
+# Pinned fluid-vs-event relative error bounds on the golden configs.  The
+# phase-split bounds are tight (the Erlang residual-wait correction holds
+# p99 to ~15% there); colocated chunked-prefill dynamics are harder to
+# close analytically, so its bounds are honest rather than flattering.
+PHASE_SPLIT_BOUNDS = {
+    "ttft_p50": 0.02,
+    "ttft_p99": 0.25,
+    "tbt_mean": 0.02,
+    "tbt_p99": 0.05,
+    "e2e_p50": 0.05,
+    "e2e_p99": 0.10,
+    "output_tokens_per_s": 0.05,
+    "prefill_utilization": 0.10,
+    "decode_utilization": 0.10,
+}
+COLOCATED_BOUNDS = {
+    "ttft_p50": 0.10,
+    "ttft_p99": 0.35,
+    "tbt_mean": 0.15,
+    "tbt_p99": 0.25,
+    "e2e_p50": 0.20,
+    "e2e_p99": 0.20,
+    "output_tokens_per_s": 0.05,
+    "decode_utilization": 0.10,
+}
+
+
+def _error_rows(fluid, event, bounds):
+    rows = []
+    for name, bound in bounds.items():
+        f, e = getattr(fluid, name), getattr(event, name)
+        rel = abs(f - e) / max(abs(e), 1e-12)
+        rows.append((name, f, e, rel, bound))
+    return rows
+
+
+def test_fluid_accuracy_on_goldens(benchmark):
+    def run():
+        results = {}
+        for name, deployment, simulator_cls, bounds in (
+            ("h100_phase_split", _h100_deployment(), ServingSimulator, PHASE_SPLIT_BOUNDS),
+            ("lite_phase_split", _lite_deployment(), ServingSimulator, PHASE_SPLIT_BOUNDS),
+            ("colocated", _colocated_deployment(), ColocatedSimulator, COLOCATED_BOUNDS),
+        ):
+            event = simulator_cls(deployment, SimConfig()).run(GOLDEN_TRACE)
+            fluid = simulator_cls(deployment, SimConfig(backend="fluid")).run(GOLDEN_TRACE)
+            results[name] = (fluid, event, bounds)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact = {}
+    lines = []
+    failures = []
+    for name, (fluid, event, bounds) in results.items():
+        assert fluid.backend == "fluid" and event.backend == "event"
+        if fluid.completed != event.completed:
+            failures.append(f"{name}: completed {fluid.completed} != {event.completed}")
+        metrics = {}
+        for metric, f, e, rel, bound in _error_rows(fluid, event, bounds):
+            metrics[metric] = {"fluid": f, "event": e, "rel_error": rel, "bound": bound}
+            lines.append(f"{name:18s} {metric:22s} fluid {f:10.5f}  event {e:10.5f}  "
+                         f"rel {rel:+.3f} (bound {bound:.2f})")
+            if not rel <= bound:
+                failures.append(f"{name}.{metric}: rel {rel:.3f} > bound {bound}")
+        artifact[name] = {"completed": event.completed, "metrics": metrics}
+    emit("Fluid accuracy vs event truth on the golden configs", "\n".join(lines))
+    _record_artifact("accuracy", artifact)
+    assert not failures, "; ".join(failures)
+
+
+# The exact hot-path scenario of benchmarks/test_perf_sweep.py: a
+# 10-minute trace, ~280k decode-iteration events for the event engine.
+HOTPATH_TRACE = generate_trace(
+    TraceConfig(rate=3.0, duration=600.0, output_tokens=150, output_spread=0.5), seed=21
+)
+
+HOTPATH_POOLS = PhasePools(
+    prefill=InstanceSpec(LLAMA3_8B, H100, 1),
+    n_prefill=2,
+    decode=InstanceSpec(LLAMA3_8B, H100, 1),
+    n_decode=2,
+    max_prefill_batch=4,
+    max_decode_batch=128,
+)
+
+
+def _timed_point(backend: str):
+    """One full sweep-point evaluation: simulator construction + run."""
+    start = time.perf_counter()
+    report = ServingSimulator(
+        HOTPATH_POOLS, SimConfig(max_sim_time=1800.0, backend=backend)
+    ).run(HOTPATH_TRACE)
+    return report, time.perf_counter() - start
+
+
+def test_fluid_point_speedup(benchmark):
+    def run():
+        event = _timed_point("event")
+        # Best of five fluid runs: at ~10ms per run a single scheduler
+        # stall would otherwise dominate the measurement.
+        fluid = min((_timed_point("fluid") for _ in range(5)), key=lambda r: r[1])
+        return event, fluid
+
+    (report_event, t_event), (report_fluid, t_fluid) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    speedup = t_event / t_fluid
+    # Shared CI runners get slack against scheduler noise; the measured
+    # ratio lands in the artifact either way.
+    floor = 60.0 if os.environ.get("CI") else 100.0
+    emit(
+        "Fluid fast path: one sweep point on the 10-minute trace",
+        f"trace:  {len(HOTPATH_TRACE)} requests\n"
+        f"event:  {t_event * 1e3:8.1f} ms wall (discrete-event truth)\n"
+        f"fluid:  {t_fluid * 1e3:8.1f} ms wall (analytic ODE, best of 5)\n"
+        f"speedup: {speedup:.0f}x (floor {floor:.0f}x)",
+    )
+    _record_artifact(
+        "point_speedup",
+        {
+            "requests": len(HOTPATH_TRACE),
+            "event_s": t_event,
+            "fluid_s": t_fluid,
+            "speedup": speedup,
+            "floor": floor,
+        },
+    )
+    # Both backends must agree the system is healthy before the ratio
+    # means anything.
+    assert report_event.completed == len(HOTPATH_TRACE)
+    assert report_fluid.completed == len(HOTPATH_TRACE)
+    rel_tput = abs(
+        report_fluid.output_tokens_per_s - report_event.output_tokens_per_s
+    ) / report_event.output_tokens_per_s
+    assert rel_tput <= 0.05
+    assert speedup >= floor, f"expected >={floor:.0f}x, got {speedup:.1f}x"
+
+
+# --- two-tier screening grid -------------------------------------------
+# A capacity-planning grid where the decode pool is the binding resource:
+# max rate 16/s saturates 1- and 2-instance decode pools, a 3-instance
+# pool rides just under saturation (the true argbest), and 4/6 instances
+# buy nothing but idle GPUs.
+SCREEN_RATES = (2.0, 4.0, 8.0, 12.0, 16.0)
+SCREEN_SIZES = (1, 2, 3, 4, 6)
+
+
+def _screen_grid_point(backend: str, rate: float, size: int):
+    trace = generate_trace(
+        TraceConfig(rate=rate, duration=8.0, output_tokens=80, output_spread=0.5),
+        seed=11,
+    )
+    pools = PhasePools(
+        prefill=InstanceSpec(LLAMA3_8B, H100, 1),
+        n_prefill=2,
+        decode=InstanceSpec(LLAMA3_8B, H100, 1),
+        n_decode=size,
+        max_prefill_batch=4,
+        max_decode_batch=4,
+    )
+    return ServingSimulator(pools, SimConfig(backend=backend)).run(trace)
+
+
+def _cost(record):
+    """Unit economics: saturated pools are cheap, idle GPUs are not."""
+    return record["result"].usd_per_mtoken
+
+
+def _quality(record):
+    return record["result"].output_tokens_per_s
+
+
+def test_two_tier_screening_recovers_argbest(benchmark):
+    def run():
+        start = time.perf_counter()
+        result = screen_then_simulate(
+            _screen_grid_point,
+            [{"rate": r, "size": s} for r in SCREEN_RATES for s in SCREEN_SIZES],
+            cost=_cost,
+            quality=_quality,
+            margin=0.05,
+        )
+        t_screen = time.perf_counter() - start
+        # Ground truth: the full event sweep the screen is replacing.
+        start = time.perf_counter()
+        truth = [
+            {"rate": r, "size": s, "result": _screen_grid_point("event", r, s)}
+            for r in SCREEN_RATES
+            for s in SCREEN_SIZES
+        ]
+        t_full = time.perf_counter() - start
+        return result, truth, t_screen, t_full
+
+    result, truth, t_screen, t_full = benchmark.pedantic(run, rounds=1, iterations=1)
+    truth_best = max(truth, key=_quality)
+    fraction = result.promotion_fraction
+    emit(
+        "Two-tier screening: 5 rates x 5 decode-pool sizes",
+        result.table(_cost, _quality)
+        + f"\nevent argbest (full sweep): rate={truth_best['rate']:g} "
+        f"size={truth_best['size']} ({_quality(truth_best):.0f} tok/s)\n"
+        f"screen verdict:             rate={result.best['rate']:g} "
+        f"size={result.best['size']} ({_quality(result.best):.0f} tok/s)\n"
+        f"event simulations: {len(result.promoted)}/{result.n_points} "
+        f"({fraction:.0%}); wall {t_screen:.1f}s vs full sweep {t_full:.1f}s",
+    )
+    _record_artifact(
+        "two_tier_screening",
+        {
+            "grid_points": result.n_points,
+            "promoted": len(result.promoted),
+            "promotion_fraction": fraction,
+            "margin": result.margin,
+            "screen_s": t_screen,
+            "full_sweep_s": t_full,
+            "argbest": {"rate": result.best["rate"], "size": result.best["size"]},
+            "argbest_recovered": math.isclose(
+                _quality(result.best), _quality(truth_best), rel_tol=1e-9
+            ),
+        },
+    )
+    # The headline guarantees: same verdict as the full event sweep, at
+    # <= 25% of its event-simulation bill.
+    assert _quality(result.best) == _quality(truth_best)
+    assert (result.best["rate"], result.best["size"]) == (
+        truth_best["rate"], truth_best["size"],
+    )
+    assert fraction <= 0.25, f"promoted {fraction:.0%} of the grid (> 25%)"
+    assert t_screen < t_full

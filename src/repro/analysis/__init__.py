@@ -4,6 +4,8 @@
 - :mod:`repro.analysis.tables` — plain-text table rendering (no plotting
   dependencies; benches print the same rows the paper's figures encode).
 - :mod:`repro.analysis.sweeps` — parameter-sweep utilities for ablations.
+- :mod:`repro.analysis.screening` — two-tier sweeps: fluid-backend screen
+  over the full grid, event-backend promotion of near-Pareto survivors.
 - :mod:`repro.analysis.report` — textual experiment reports.
 - :mod:`repro.analysis.streaming` — constant-memory metric accumulators
   (quantile sketches, reservoirs) behind ``SimConfig(metrics="streaming")``.
@@ -17,7 +19,8 @@ from .figures import (
     fig3b_decode_series,
 )
 from .tables import format_table, table1_rows
-from .sweeps import sweep_1d, sweep_grid
+from .sweeps import pareto_front, sweep_1d, sweep_grid
+from .screening import ScreeningResult, screen_then_simulate
 from .report import experiment_report
 from .streaming import QuantileSketch, ReservoirSampler, StreamingMetrics
 
@@ -32,7 +35,10 @@ __all__ = [
     "fig3b_decode_series",
     "format_table",
     "table1_rows",
+    "pareto_front",
     "sweep_1d",
     "sweep_grid",
+    "ScreeningResult",
+    "screen_then_simulate",
     "experiment_report",
 ]

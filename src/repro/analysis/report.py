@@ -25,8 +25,12 @@ def simulation_table(reports: Dict[str, SimReport], title: str = "Serving simula
     The shared format for comparing deployments or policy bundles: SLO
     metrics (TTFT, TBT), throughput, the failure-recovery counters, and —
     when any report carries cost accounting — the $/Mtoken unit economics.
+    A ``backend`` provenance column appears whenever any row came from a
+    non-default backend, so fluid estimates are never mistaken for
+    event-engine truth.
     """
     with_cost = any(r.usd_cost > 0 for r in reports.values())
+    with_backend = any(r.backend != "event" for r in reports.values())
     rows = []
     for name, report in reports.items():
         row = [
@@ -39,6 +43,8 @@ def simulation_table(reports: Dict[str, SimReport], title: str = "Serving simula
             report.requeued_on_failure,
             report.restarted_requests,
         ]
+        if with_backend:
+            row.append(report.backend)
         if with_cost:
             row.append(f"{report.gpu_seconds:.0f}")
             row.append(f"{report.usd_per_mtoken:.2f}")
@@ -47,6 +53,8 @@ def simulation_table(reports: Dict[str, SimReport], title: str = "Serving simula
         "deployment", "done", "TTFT p50/p99 ms", "TBT ms", "e2e p50 s",
         "out tok/s", "requeued", "restarted",
     ]
+    if with_backend:
+        headers.append("backend")
     if with_cost:
         headers += ["gpu-s", "$/Mtok"]
     return format_table(headers, rows, title=title)

@@ -22,6 +22,7 @@ import hashlib
 import types
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..core.metrics import pareto_front
 from ..errors import SpecError
 from ..exec.cache import ResultCache
 from ..exec.runner import Job, run_many
@@ -152,34 +153,3 @@ def argbest(records: Iterable[Dict], key: Callable[[Dict], float], maximize: boo
     if not records:
         raise SpecError("records must contain at least one successful evaluation")
     return max(records, key=key) if maximize else min(records, key=key)
-
-
-def pareto_front(
-    records: Iterable[Dict],
-    cost: Callable[[Dict], float],
-    quality: Callable[[Dict], float],
-) -> List[Dict]:
-    """Non-dominated records: minimal ``cost`` for maximal ``quality``.
-
-    The static-vs-elastic frontier helper: a record survives unless some
-    other record is at least as good on *both* axes and strictly better
-    on one.  Errored records are skipped; the front returns sorted by
-    ascending cost (ties keep input order, duplicates all survive).
-
-    >>> recs = [{"c": 1, "q": 1}, {"c": 2, "q": 3}, {"c": 3, "q": 2}]
-    >>> [r["c"] for r in pareto_front(recs, lambda r: r["c"], lambda r: r["q"])]
-    [1, 2]
-    """
-    candidates = [r for r in records if "error" not in r]
-    front = []
-    for record in candidates:
-        c, q = cost(record), quality(record)
-        dominated = any(
-            (cost(other) <= c and quality(other) >= q)
-            and (cost(other) < c or quality(other) > q)
-            for other in candidates
-            if other is not record
-        )
-        if not dominated:
-            front.append(record)
-    return sorted(front, key=cost)

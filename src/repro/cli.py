@@ -12,6 +12,8 @@ Usage::
     python -m repro simulate --topology direct --group 8 --network-model fabric \
         --placer scattered                       # topology-aware serving
     python -m repro sweep --rates 2,4,6 --sizes 1,2 --workers 4
+    python -m repro simulate --backend fluid     # millisecond analytic estimate
+    python -m repro screen --rates 2,4,6,8 --sizes 1,2,4  # two-tier sweep
     python -m repro topology --gpus 128 --group 4  # fabric comparison table
     python -m repro autoscale --controllers static,reactive,slo \
         --rates 1,8,1 --segment 60               # static-vs-elastic economics
@@ -27,6 +29,7 @@ skip completed work, and ``cache``, which inspects/clears that directory.
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from typing import List, Optional
 
@@ -59,6 +62,7 @@ from .cluster.power_manager import ClusterPowerManager
 from .cluster.scheduler import ColocatedPool, InstanceSpec, PhasePools
 from .cluster.simulator import ColocatedSimulator, ServingSimulator, SimConfig
 from .cluster.spec import ClusterSpec
+from .analysis.screening import screen_then_simulate
 from .analysis.sweeps import argbest
 from .core.search import search_best_config
 from .errors import LiteGPUError, SimulationError
@@ -230,10 +234,13 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
         ),
         seed=args.seed,
     )
+    if args.backend != "event" and args.shards > 1:
+        raise SimulationError("--backend fluid cannot be combined with --shards")
     config = SimConfig(
         max_sim_time=args.max_sim_time,
         context_bucket=args.context_bucket,
         metrics=args.metrics,
+        backend=args.backend,
     )
     failure_model = None
     if args.mtbf_hours > 0:
@@ -328,6 +335,7 @@ def _sweep_point(
     group: int,
     placer: str,
     network_model: str,
+    backend: str,
     trace_config: TraceConfig,
     trace_seed: int,
 ):
@@ -335,13 +343,15 @@ def _sweep_point(
 
     The trace regenerates from its config inside the worker — deterministic,
     and far cheaper to ship than thousands of pickled Request objects.  The
-    topology/placement arguments are part of the point tuple the cache key
-    hashes, so topology sweeps never collide with cached non-network runs.
+    topology/placement/backend arguments are part of the point tuple the
+    cache key hashes, so topology sweeps never collide with cached
+    non-network runs and fluid screens never alias event truth.
     """
     trace = generate_trace(trace_config, seed=trace_seed)
     model = get_model(model_name)
     config = SimConfig(
-        max_sim_time=max_sim_time, context_bucket=context_bucket, metrics=metrics
+        max_sim_time=max_sim_time, context_bucket=context_bucket, metrics=metrics,
+        backend=backend,
     )
     if shape == "phase-split":
         deployment = PhasePools(
@@ -396,7 +406,7 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
                 args.max_prefill_batch, args.max_decode_batch, args.chunk_tokens,
                 args.policy, args.max_sim_time, args.context_bucket, args.metrics,
                 args.topology, args.cluster_gpus, args.group,
-                args.placer, args.network_model,
+                args.placer, args.network_model, args.backend,
             )
             key = None
             if cache is not None:
@@ -443,6 +453,97 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         )
     else:
         print("cache: disabled")
+
+
+def _screen_point(
+    backend: str,
+    rate: float,
+    size: int,
+    *,
+    shape: str,
+    model_name: str,
+    prefill_gpu: str,
+    decode_gpu: str,
+    gpu: str,
+    gpus_per_instance: int,
+    n_prefill: int,
+    max_prefill_batch: int,
+    max_decode_batch: int,
+    chunk_tokens: int,
+    policy: str,
+    max_sim_time: float,
+    duration: float,
+    output_tokens: int,
+    output_spread: float,
+    trace_seed: int,
+):
+    """Evaluate one screen grid point under the given backend.
+
+    Module-level with keyword-bound fixed configuration (via
+    ``functools.partial``) so it pickles to workers and the backend lands
+    in the result-cache key.
+    """
+    trace_config = TraceConfig(
+        rate=rate, duration=duration,
+        output_tokens=output_tokens, output_spread=output_spread,
+    )
+    return _sweep_point(
+        shape, model_name, prefill_gpu, decode_gpu, gpu,
+        gpus_per_instance, n_prefill, size,
+        max_prefill_batch, max_decode_batch, chunk_tokens,
+        policy, max_sim_time, 1, "exact",
+        "none", 0, 4, "packed", "none", backend,
+        trace_config, trace_seed,
+    )
+
+
+def _cmd_screen(args: argparse.Namespace) -> None:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    fn = functools.partial(
+        _screen_point,
+        shape=args.shape,
+        model_name=args.model,
+        prefill_gpu=args.prefill_gpu,
+        decode_gpu=args.decode_gpu,
+        gpu=args.gpu,
+        gpus_per_instance=args.gpus_per_instance,
+        n_prefill=args.n_prefill,
+        max_prefill_batch=args.max_prefill_batch,
+        max_decode_batch=args.max_decode_batch,
+        chunk_tokens=args.chunk_tokens,
+        policy=args.policy,
+        max_sim_time=args.max_sim_time,
+        duration=args.duration,
+        output_tokens=args.output_tokens,
+        output_spread=args.output_spread,
+        trace_seed=args.seed,
+    )
+    points = [{"rate": rate, "size": size} for rate in args.rates for size in args.sizes]
+
+    def cost(record):
+        return float(record["size"])
+
+    def quality(record):
+        return record["result"].output_tokens_per_s
+
+    result = screen_then_simulate(
+        fn, points,
+        cost=cost, quality=quality,
+        margin=args.margin, workers=args.workers, cache=cache,
+    )
+    print(
+        f"screen: {args.shape} {args.model}, {result.n_points} points "
+        f"({len(args.rates)} rates x {len(args.sizes)} sizes), "
+        f"margin {args.margin:.0%}, policy '{args.policy}'"
+    )
+    print(result.table(cost, quality))
+    best = result.best
+    print(
+        f"best (event-verified): rate={best['rate']:g} size={best['size']} "
+        f"({best['result'].output_tokens_per_s:.0f} out tok/s); "
+        f"event simulated {len(result.promoted)}/{result.n_points} points "
+        f"({result.promotion_fraction:.0%})"
+    )
 
 
 def _build_controller(name: str, args: argparse.Namespace, deployment):
@@ -696,6 +797,9 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--max-sim-time", type=float, default=600.0)
     simulate.add_argument("--context-bucket", type=int, default=1,
                           help="service-time cache granularity (1 = exact)")
+    simulate.add_argument("--backend", default="event", choices=("event", "fluid"),
+                          help="event = discrete-event truth; fluid = millisecond "
+                               "analytic ODE estimate")
     simulate.add_argument("--metrics", default="exact", choices=("exact", "streaming"),
                           help="exact per-request metrics, or constant-memory sketches")
     simulate.add_argument("--shards", type=int, default=1,
@@ -752,6 +856,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--context-bucket", type=int, default=1)
     sweep.add_argument("--metrics", default="exact", choices=("exact", "streaming"),
                        help="exact per-request metrics, or constant-memory sketches")
+    sweep.add_argument("--backend", default="event", choices=("event", "fluid"),
+                       help="simulate every point with the event engine (default) "
+                            "or the fluid analytic estimate")
     _add_topology_args(sweep)
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = in-process)")
@@ -760,6 +867,41 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-cache", action="store_true",
                        help="disable the on-disk result cache")
     sweep.set_defaults(fn=_cmd_sweep)
+
+    screen = sub.add_parser(
+        "screen",
+        help="two-tier sweep: fluid-screen the grid, event-simulate survivors",
+    )
+    screen.add_argument("--shape", choices=("phase-split", "colocated"), default="colocated")
+    screen.add_argument("--model", default="Llama3-8B")
+    screen.add_argument("--prefill-gpu", default="Lite+NetBW+FLOPS")
+    screen.add_argument("--decode-gpu", default="Lite+MemBW")
+    screen.add_argument("--gpu", default="H100", help="pool GPU (colocated)")
+    screen.add_argument("--gpus-per-instance", type=int, default=1)
+    screen.add_argument("--n-prefill", type=int, default=2,
+                        help="prefill pool size (phase-split; fixed across the grid)")
+    screen.add_argument("--rates", type=_csv_floats, default=[2.0, 4.0, 6.0],
+                        help="comma-separated arrival rates (req/s), one grid axis")
+    screen.add_argument("--sizes", type=_csv_ints, default=[1, 2, 4],
+                        help="comma-separated pool sizes, the other grid axis")
+    screen.add_argument("--max-prefill-batch", type=int, default=4)
+    screen.add_argument("--max-decode-batch", type=int, default=64)
+    screen.add_argument("--chunk-tokens", type=int, default=512)
+    screen.add_argument("--policy", default="fcfs", choices=POLICY_BUNDLES.names())
+    screen.add_argument("--duration", type=float, default=20.0, help="trace length (s)")
+    screen.add_argument("--output-tokens", type=int, default=100)
+    screen.add_argument("--output-spread", type=float, default=0.5)
+    screen.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+    screen.add_argument("--max-sim-time", type=float, default=600.0)
+    screen.add_argument("--margin", type=float, default=0.10,
+                        help="relative safety margin widening the fluid Pareto front")
+    screen.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = in-process)")
+    screen.add_argument("--cache-dir", default=".repro_cache",
+                        help="result-cache directory")
+    screen.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    screen.set_defaults(fn=_cmd_screen)
 
     autoscale = sub.add_parser(
         "autoscale",

@@ -95,6 +95,7 @@ from .simulator import (
     SimConfig,
     SimReport,
 )
+from .fluid import BatchTimeFit, TraceProfile
 
 __all__ = [
     "ClusterSpec",
@@ -177,4 +178,6 @@ __all__ = [
     "ServingSimulator",
     "SimConfig",
     "SimReport",
+    "BatchTimeFit",
+    "TraceProfile",
 ]

@@ -1,0 +1,895 @@
+"""Fluid/ODE fast path: millisecond analytic counterpart of the event engines.
+
+The paper's lite-vs-big question is a *design-space search*: thousands of
+(GPU grade, fleet size, parallelism, policy) points, each costing a full
+discrete-event run.  This module replaces the event loop with a coupled
+queue-mass / KV-token-mass fluid model in the style of Fluid-ODE LLM-serving
+simulators: arrivals come from a binned trace profile, completion rates from
+the memoized :class:`~repro.cluster.engine.AbstractServiceTimeProvider` via a
+``d0 + d1·tokens`` batch-time fit, and the masses are integrated with a
+fixed-step RK2 (midpoint) scheme in pure python/numpy.
+
+The output is the **same** :class:`~repro.cluster.simulator.SimReport` the
+event engines produce (with ``backend="fluid"`` provenance): latency
+quantiles come from the arrival-weighted waiting-time distribution along the
+trajectory (plus an Erlang-C residual-wait correction for the discreteness
+the fluid limit erases), counters / throughput / utilization / economics
+from the integrated masses, and NaN — never 0.0 — where the fluid cannot
+estimate.
+
+What the fluid model deliberately does *not* capture:
+
+- per-request discreteness (Poisson burst tails beyond the profile's bin
+  width are smoothed, so extreme p99s are approximate);
+- failures, resilience policies, and elastic controllers — composing those
+  with ``backend="fluid"`` raises :class:`~repro.errors.SpecError` at
+  simulator construction rather than silently mis-estimating.
+
+Use it to *screen* large sweeps (see :mod:`repro.analysis.screening`) and
+promote only the survivors to event-level truth.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..workloads.traces import Request
+from .economics import EconomicsConfig, EconomicsReport, pool_economics
+from .engine import AbstractServiceTimeProvider
+from .policies import PolicyBundle
+from .scheduler import ColocatedPool, PhasePools
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (simulator imports us lazily)
+    from .simulator import SimConfig, SimReport
+
+__all__ = [
+    "TraceProfile",
+    "BatchTimeFit",
+    "fluid_phase_split_report",
+    "fluid_colocated_report",
+]
+
+_EPS = 1e-12
+#: Cap on latency atoms: time steps are compressed to ≤ this many groups and
+#: output lengths to ≤ this many quantile atoms before the e2e outer product,
+#: so percentile extraction stays O(atoms² log atoms) regardless of horizon.
+_MAX_TIME_ATOMS = 192
+_MAX_LENGTH_ATOMS = 256
+#: Residual-wait quartile midpoints.  Phase-split prefill passes are
+#: deterministic, so a blocked arrival waits a *uniform* residual of one
+#: pass; colocated prompt service is effectively exponential (M/M/c), so
+#: the blocked wait uses exponential quantiles ``-ln(1-u)``.
+_UNIFORM_ATOMS = (0.2, 0.4, 0.6, 0.8)
+_EXP_ATOMS = (0.13353, 0.47000, 0.98083, 2.07944)
+
+
+# --------------------------------------------------------------------------
+# trace profile
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Binned arrival-rate profile plus length statistics of one trace.
+
+    The fluid model only sees the trace through this: a piecewise-constant
+    arrival rate ``rate_at(t)`` (requests/s per bin), mean prompt/output
+    lengths for the mass dynamics, and ≤ :data:`_MAX_LENGTH_ATOMS`
+    equal-weight output-length quantile atoms for the e2e distribution.
+    """
+
+    n_requests: int
+    t_end: float
+    bin_s: float
+    rates: np.ndarray
+    prompt_mean: float
+    output_mean: float
+    total_output_tokens: float
+    output_atoms: np.ndarray
+
+    @staticmethod
+    def from_trace(trace: Sequence[Request], bin_s: Optional[float] = None) -> "TraceProfile":
+        """Profile an arrival-ordered request list.
+
+        ``bin_s`` defaults to ``max(1, t_end / 64)`` — fine enough that
+        diurnal ramps and bursts survive, coarse enough that single-arrival
+        Poisson noise does not masquerade as load swings.
+        """
+        if not trace:
+            return TraceProfile(
+                n_requests=0, t_end=0.0, bin_s=1.0, rates=np.zeros(1),
+                prompt_mean=1.0, output_mean=1.0, total_output_tokens=0.0,
+                output_atoms=np.ones(1),
+            )
+        arrivals = np.array([r.arrival for r in trace], dtype=float)
+        prompts = np.array([r.prompt_tokens for r in trace], dtype=float)
+        outputs = np.array([max(1, r.output_tokens) for r in trace], dtype=float)
+        t_end = float(arrivals.max()) + _EPS
+        if bin_s is None:
+            bin_s = max(1.0, t_end / 64.0)
+        n_bins = max(1, int(math.ceil(t_end / bin_s)))
+        counts = np.bincount(
+            np.minimum((arrivals / bin_s).astype(int), n_bins - 1), minlength=n_bins
+        )
+        n_atoms = min(_MAX_LENGTH_ATOMS, len(outputs))
+        qs = (np.arange(n_atoms) + 0.5) / n_atoms * 100.0
+        return TraceProfile(
+            n_requests=len(trace),
+            t_end=t_end,
+            bin_s=float(bin_s),
+            rates=counts / bin_s,
+            prompt_mean=float(prompts.mean()),
+            output_mean=float(outputs.mean()),
+            total_output_tokens=float(outputs.sum()),
+            output_atoms=np.percentile(outputs, qs),
+        )
+
+    @property
+    def total_mean(self) -> float:
+        """Mean final KV footprint (prompt + full output) per request."""
+        return self.prompt_mean + self.output_mean
+
+    @property
+    def span(self) -> float:
+        """End of the last arrival bin — rate integrals conserve mass to here."""
+        return len(self.rates) * self.bin_s
+
+    def rate_at(self, t: float) -> float:
+        """Piecewise-constant arrival rate (requests/s) at clock ``t``."""
+        if t < 0.0:
+            return 0.0
+        idx = int(t / self.bin_s)
+        if idx >= len(self.rates):
+            return 0.0
+        return float(self.rates[idx])
+
+
+# --------------------------------------------------------------------------
+# batch-time fits
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchTimeFit:
+    """``d0 + d1·tokens`` batch-time fit sampled from a service-time provider.
+
+    ``d0``/``d1`` are the global least-squares affine coefficients (the
+    Fluid-ODE closure); ``time_at`` evaluates the *segmented* fit — linear
+    interpolation between the exact provider samples — so the completion
+    rate stays accurate even where the roofline curve bends (memory-bound
+    plateau into compute-bound slope).
+    """
+
+    tokens: np.ndarray
+    times: np.ndarray
+    d0: float
+    d1: float
+
+    @staticmethod
+    def from_samples(tokens: Sequence[float], times: Sequence[float]) -> "BatchTimeFit":
+        tok = np.asarray(tokens, dtype=float)
+        tim = np.asarray(times, dtype=float)
+        if len(tok) >= 2:
+            d1, d0 = np.polyfit(tok, tim, 1)
+        else:
+            d0, d1 = 0.0, float(tim[0] / max(tok[0], 1.0))
+        return BatchTimeFit(tokens=tok, times=tim, d0=float(d0), d1=float(d1))
+
+    def time_at(self, tokens: float) -> float:
+        """Segmented batch time at a (fractional) token count."""
+        return float(np.interp(tokens, self.tokens, self.times))
+
+
+def _batch_grid(max_batch: int, samples: int = 12) -> List[int]:
+    """Unique integer batches, geometrically spaced over [1, max_batch]."""
+    grid = np.unique(
+        np.rint(np.geomspace(1, max(1, max_batch), num=samples)).astype(int)
+    )
+    return [int(b) for b in grid]
+
+
+def _averaged(provider: AbstractServiceTimeProvider, n_instances: int, query) -> float:
+    """Average a provider query over instances (fabric overheads differ)."""
+    span = min(max(1, n_instances), 4)
+    return sum(query(i) for i in range(span)) / span
+
+
+def fit_decode(
+    provider: AbstractServiceTimeProvider,
+    max_batch: int,
+    context: int,
+    n_instances: int,
+) -> BatchTimeFit:
+    """Decode-iteration time vs batch (= tokens generated per iteration)."""
+    batches = _batch_grid(max_batch)
+    times = [
+        _averaged(provider, n_instances, lambda i: provider.decode_time(b, context, instance=i))
+        for b in batches
+    ]
+    return BatchTimeFit.from_samples([float(b) for b in batches], times)
+
+
+def fit_prefill(
+    provider: AbstractServiceTimeProvider,
+    max_batch: int,
+    prompt_len: int,
+    n_instances: int,
+) -> BatchTimeFit:
+    """Prefill-pass time vs total prompt tokens in the batch."""
+    batches = _batch_grid(max_batch, samples=8)
+    times = [
+        _averaged(
+            provider, n_instances, lambda i: provider.prefill_time(b, prompt_len, instance=i)
+        )
+        for b in batches
+    ]
+    return BatchTimeFit.from_samples([float(b * prompt_len) for b in batches], times)
+
+
+def fit_mixed(
+    provider: AbstractServiceTimeProvider,
+    max_batch: int,
+    context: int,
+    chunk: int,
+    prompt_len: int,
+    n_instances: int,
+) -> BatchTimeFit:
+    """SARATHI mixed-iteration time vs decode batch (chunk cost in ``d0``)."""
+    batches = _batch_grid(max_batch)
+    times = [
+        _averaged(
+            provider,
+            n_instances,
+            lambda i: provider.mixed_time(b, context, chunk, prompt_len, instance=i),
+        )
+        for b in batches
+    ]
+    return BatchTimeFit.from_samples([float(b) for b in batches], times)
+
+
+def _smoothed_rates(rates: Sequence[float], window: int = 5) -> List[float]:
+    """Centered moving average of the bin rates (edge-padded).
+
+    The *dynamics* integrate the exact bin rates so arrival mass conserves;
+    the *queueing corrections* (Erlang-C blocked probability, wait scale)
+    use this smoothed profile instead, so single-bin Poisson noise does not
+    masquerade as a saturating burst while real multi-bin ramps survive.
+    """
+    if len(rates) <= 2:
+        return [float(r) for r in rates]
+    arr = np.asarray(rates, dtype=float)
+    half = window // 2
+    padded = np.pad(arr, (half, half), mode="edge")
+    kernel = np.full(window, 1.0 / window)
+    return [float(r) for r in np.convolve(padded, kernel, mode="valid")]
+
+
+def _erlang_c(n: int, offered: float) -> float:
+    """M/M/n probability of waiting at ``offered`` erlangs (1.0 if saturated).
+
+    Used as the blocked-arrival probability for the residual-wait
+    correction: the fluid limit has no mid-pass arrivals, the event engine
+    does, and the difference is exactly the classic Erlang-C wait mass.
+    """
+    if offered <= 0.0:
+        return 0.0
+    if offered >= n:
+        return 1.0
+    b = 1.0
+    for k in range(1, n + 1):
+        b = offered * b / (k + offered * b)
+    rho = offered / n
+    return b / (1.0 - rho + rho * b)
+
+
+# --------------------------------------------------------------------------
+# weighted-percentile machinery
+# --------------------------------------------------------------------------
+
+
+def _weighted_percentile(
+    values: np.ndarray, weights: np.ndarray, qs: Sequence[float]
+) -> np.ndarray:
+    """Weighted percentiles (qs in [0, 100]) with midpoint interpolation."""
+    order = np.argsort(values, kind="stable")
+    v = values[order]
+    w = weights[order]
+    cum = np.cumsum(w)
+    total = cum[-1]
+    positions = (cum - 0.5 * w) / total
+    return np.interp(np.asarray(qs, dtype=float) / 100.0, positions, v)
+
+
+def _compress_steps(
+    weights: np.ndarray, columns: Sequence[np.ndarray], max_atoms: int = _MAX_TIME_ATOMS
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Collapse consecutive time steps into ≤ ``max_atoms`` weighted groups."""
+    n = len(weights)
+    if n <= max_atoms:
+        return weights, list(columns)
+    k = int(math.ceil(n / max_atoms))
+    groups = int(math.ceil(n / k))
+    pad = groups * k - n
+    w = np.pad(weights, (0, pad)).reshape(groups, k)
+    gw = w.sum(axis=1)
+    safe = np.maximum(gw, _EPS)
+    out = []
+    for col in columns:
+        c = np.pad(col, (0, pad)).reshape(groups, k)
+        out.append((c * w).sum(axis=1) / safe)
+    keep = gw > _EPS
+    return gw[keep], [c[keep] for c in out]
+
+
+# --------------------------------------------------------------------------
+# trajectory accumulator + report assembly
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Trajectory:
+    """Everything the integrators accumulate for report assembly."""
+
+    completed_mass: float = 0.0
+    emitted_tokens: float = 0.0
+    duration: float = 0.0
+    busy_prefill: float = 0.0  # instance-seconds
+    busy_decode: float = 0.0
+    # Per-step (arrival-weighted) atoms for the e2e outer product.
+    arrive_w: List[float] = field(default_factory=list)
+    e2e_base: List[float] = field(default_factory=list)  # mean ttft + decode wait
+    tbt_at_arrival: List[float] = field(default_factory=list)
+    # TTFT atoms: multiple per step (base + blocked-wait residuals).
+    ttft_w: List[float] = field(default_factory=list)
+    ttft_vals: List[float] = field(default_factory=list)
+    # Completion-weighted TBT atoms.
+    complete_w: List[float] = field(default_factory=list)
+    tbt_at_completion: List[float] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class _FluidInstanceState:
+    """Synthetic engine-state ledger row for :func:`pool_economics`.
+
+    Fluid pools are static and run at base clock, so ``energy_busy`` equals
+    ``busy_time`` (power ratio 1.0) and the lifecycle spans the whole run.
+    """
+
+    busy_time: float
+    energy_busy: float
+    spawned_at: float = 0.0
+    retired_at: float = math.inf
+
+
+def _ledger_states(busy_instance_seconds: float, n: int) -> List[_FluidInstanceState]:
+    per = busy_instance_seconds / max(1, n)
+    return [_FluidInstanceState(busy_time=per, energy_busy=per) for _ in range(n)]
+
+
+def _fluid_report(
+    profile: TraceProfile,
+    traj: _Trajectory,
+    n_prefill: int,
+    n_decode: int,
+) -> "SimReport":
+    """Assemble a SimReport from an integrated trajectory (NaN, never 0.0)."""
+    from .simulator import SimReport
+
+    nan = float("nan")
+    completed = max(0, int(round(min(traj.completed_mass, float(profile.n_requests)))))
+    duration = max(traj.duration, _EPS)
+    if completed > 0 and traj.arrive_w and traj.complete_w:
+        ttft_p50, ttft_p99 = _weighted_percentile(
+            np.array(traj.ttft_vals), np.array(traj.ttft_w), (50.0, 99.0)
+        )
+        cw = np.array(traj.complete_w)
+        tbt_c = np.array(traj.tbt_at_completion)
+        tbt_mean = float(np.average(tbt_c, weights=cw))
+        (tbt_p99,) = _weighted_percentile(tbt_c, cw, (99.0,))
+        # e2e: arrival-time atoms × empirical output-length atoms.
+        aw = np.array(traj.arrive_w)
+        gw, (gbase, gtbt) = _compress_steps(
+            aw, (np.array(traj.e2e_base), np.array(traj.tbt_at_arrival))
+        )
+        atoms = profile.output_atoms
+        e2e = (gbase[:, None] + atoms[None, :] * gtbt[:, None]).ravel()
+        e2e_w = np.repeat(gw / len(atoms), len(atoms))
+        e2e_p50, e2e_p99 = _weighted_percentile(e2e, e2e_w, (50.0, 99.0))
+    else:
+        ttft_p50 = ttft_p99 = tbt_mean = tbt_p99 = e2e_p50 = e2e_p99 = nan
+    return SimReport(
+        completed=completed,
+        dropped=profile.n_requests - completed,
+        duration=duration,
+        ttft_p50=float(ttft_p50),
+        ttft_p99=float(ttft_p99),
+        tbt_mean=float(tbt_mean),
+        tbt_p99=float(tbt_p99),
+        e2e_p50=float(e2e_p50),
+        e2e_p99=float(e2e_p99),
+        output_tokens_per_s=traj.emitted_tokens / duration,
+        prefill_utilization=min(1.0, traj.busy_prefill / (n_prefill * duration)),
+        decode_utilization=min(1.0, traj.busy_decode / (n_decode * duration)),
+        requeued_on_failure=0,
+        backend="fluid",
+    )
+
+
+def _attach_fluid_economics(
+    report: "SimReport", rollups: Tuple, out_tokens: float
+) -> Tuple["SimReport", EconomicsReport]:
+    econ = EconomicsReport(
+        pools=tuple(rollups),
+        duration=report.duration,
+        output_tokens=int(round(out_tokens)),
+    )
+    report = replace(
+        report,
+        gpu_seconds=econ.gpu_seconds,
+        energy_joules=econ.energy_joules,
+        usd_cost=econ.usd_cost,
+        usd_per_mtoken=econ.usd_per_mtoken,
+    )
+    return report, econ
+
+
+def _balanced_routing(bundle: PolicyBundle) -> bool:
+    """Does routing spread work across instances instead of packing index 0?"""
+    return bundle.routing.name != "index-order"
+
+
+def _fluid_dt(profile: TraceProfile, horizon: float) -> float:
+    """Fixed RK2 step: ≥ 20ms, ≤ 600ms, ~1000 steps over the trace span."""
+    span = max(profile.span, 1.0)
+    return min(0.6, max(0.02, min(span, horizon) / 1000.0))
+
+
+# --------------------------------------------------------------------------
+# phase-split (Splitwise-style) integrator
+# --------------------------------------------------------------------------
+
+
+def _integrate_phase_split(
+    pools: PhasePools,
+    profile: TraceProfile,
+    pfit: BatchTimeFit,
+    dfit: BatchTimeFit,
+    horizon: float,
+    balanced: bool,
+    kv_capacity: float,
+) -> _Trajectory:
+    # The hot loop below is deliberately inlined and memoized: it runs
+    # O(1000) python iterations per simulated trace, and every dict hit it
+    # saves is a direct chunk of the fluid backend's speedup claim.
+    n_p, n_d = pools.n_prefill, pools.n_decode
+    pm, out_mean = profile.prompt_mean, profile.output_mean
+    max_pb = float(pools.max_prefill_batch)
+    # Decode admits on the request's *final* KV footprint (prompt + output),
+    # exactly like FCFSAdmission's token budget.
+    cap = max(1.0, min(float(pools.max_decode_batch), kv_capacity / max(profile.total_mean, 1.0)))
+    nd_max = n_d * cap
+    dt = _fluid_dt(profile, horizon)
+    half = 0.5 * dt
+    traj = _Trajectory()
+    rates = [float(r) for r in profile.rates]
+    srates = _smoothed_rates(rates)
+    n_bins = len(rates)
+    inv_bin = 1.0 / profile.bin_s
+    span = profile.span
+    inv_np = 1.0 / n_p
+    per_instance = 1.0 if balanced else cap
+    out_floor = out_mean - 1e-9
+    mass_floor = 1e-9 * max(1.0, float(profile.n_requests))
+    exp, ceil = math.exp, math.ceil
+    # Quantized (1/16-request) memo tables over the segmented fits, plus an
+    # Erlang-C memo keyed on (arrival bin, prefill batch quantum).
+    p_memo: dict = {}
+    d_memo: dict = {}
+    e_memo: dict = {}
+    td_idle = dfit.time_at(1.0)
+
+    aw_app = traj.arrive_w.append
+    eb_app = traj.e2e_base.append
+    ta_app = traj.tbt_at_arrival.append
+    tw_app = traj.ttft_w.append
+    tv_app = traj.ttft_vals.append
+    cw_app = traj.complete_w.append
+    tc_app = traj.tbt_at_completion.append
+
+    def prefill_lookup(qb: int) -> float:
+        tp = p_memo.get(qb)
+        if tp is None:
+            tp = pfit.time_at(qb * 0.0625 * pm)
+            p_memo[qb] = tp
+        return tp
+
+    qp = qd = nd = 0.0
+    progress = 0.0  # cumulative decode token progress ∫ dt / T_d
+    cohorts: deque = deque()  # [mass, progress at admission]
+    pop_front = cohorts.popleft
+    push = cohorts.append
+    step = 0
+    max_steps = int(horizon / dt) + 1
+    t_next = 0.0
+    while step < max_steps:
+        t = t_next
+        t_next = (step + 1) * dt  # drift-free clock
+        step += 1
+        idx = int(t * inv_bin)
+        lam = rates[idx] if idx < n_bins else 0.0
+        idx_mid = int((t + half) * inv_bin)
+        lam_mid = rates[idx_mid] if idx_mid < n_bins else 0.0
+
+        # --- prefill queue, RK2 midpoint ---------------------------------
+        bp1 = qp * inv_np
+        bp1 = 1.0 if bp1 < 1.0 else (max_pb if bp1 > max_pb else bp1)
+        qb1 = int(bp1 * 16.0 + 0.5)
+        tp1 = prefill_lookup(qb1)
+        cap1 = n_p * (qb1 * 0.0625) / tp1
+        mu1 = qp / dt + lam
+        if mu1 > cap1:
+            mu1 = cap1
+        qp_mid = qp + half * (lam - mu1)
+        if qp_mid < 0.0:
+            qp_mid = 0.0
+        bp = qp_mid * inv_np
+        bp = 1.0 if bp < 1.0 else (max_pb if bp > max_pb else bp)
+        qb = int(bp * 16.0 + 0.5)
+        bq = qb * 0.0625
+        tp = prefill_lookup(qb)
+        cap_rate = n_p * bq / tp
+        mu_p = qp / dt + lam_mid
+        if mu_p > cap_rate:
+            mu_p = cap_rate
+        qp = qp + dt * (lam_mid - mu_p)
+        if qp < 0.0:
+            qp = 0.0
+        traj.busy_prefill += mu_p * tp / bq * dt
+
+        # --- decode transport --------------------------------------------
+        # Every resident request gains one token per iteration; a cohort
+        # completes when its token progress spans the mean output length
+        # (characteristic transport, not an exponential drain — this keeps
+        # the tail drain time event-accurate).
+        if nd > _EPS:
+            n_act = ceil(nd / per_instance - 1e-9)
+            if n_act < 1:
+                n_act = 1
+            elif n_act > n_d:
+                n_act = n_d
+            bd = nd / n_act
+            if bd > cap:
+                bd = cap
+            qdk = int(bd * 16.0 + 0.5)
+            if qdk < 16:
+                qdk = 16
+            td = d_memo.get(qdk)
+            if td is None:
+                td = dfit.time_at(qdk * 0.0625)
+                d_memo[qdk] = td
+            progress += dt / td
+            # A partially-filled instance idles between arrivals: its busy
+            # fraction is the discrete-occupancy 1 - e^(-batch).
+            traj.busy_decode += n_act * (1.0 - exp(-bd)) * dt
+        else:
+            td = td_idle
+        done = 0.0
+        while cohorts and progress - cohorts[0][1] >= out_floor:
+            done += pop_front()[0]
+        if done > 0.0:
+            nd -= done
+            traj.completed_mass += done
+            traj.duration = t_next
+        # KV-bounded admission from the handoff queue plus fresh prefills.
+        mu_adm = mu_p + qd / dt
+        free_rate = (nd_max - nd) / dt
+        if free_rate < 0.0:
+            free_rate = 0.0
+        if mu_adm > free_rate:
+            mu_adm = free_rate
+        admitted = mu_adm * dt
+        if admitted > _EPS:
+            push([admitted, progress])
+            nd += admitted
+        qd = qd + dt * (mu_p - mu_adm)
+        if qd < 0.0:
+            qd = 0.0
+
+        # --- latency samples ---------------------------------------------
+        w = lam_mid * dt
+        if w > 0.0:
+            base = qp / cap_rate + tp
+            wait_d = qd * out_mean * td / nd if (qd > 1e-9 and nd > _EPS) else 0.0
+            ekey = (idx_mid, qb)
+            blocked = e_memo.get(ekey)
+            if blocked is None:
+                slam = srates[idx_mid] if idx_mid < n_bins else 0.0
+                blocked = _erlang_c(n_p, slam * tp / bq)
+                e_memo[ekey] = blocked
+            tw_app(w * (1.0 - blocked))
+            tv_app(base)
+            if blocked > 1e-6:
+                share = w * blocked * 0.25
+                for frac in _UNIFORM_ATOMS:
+                    tw_app(share)
+                    tv_app(base + frac * tp)
+            aw_app(w)
+            eb_app(base + 0.5 * blocked * tp + wait_d)
+            ta_app(td)
+        if done > 0.0:
+            cw_app(done)
+            tc_app(td)
+        if t_next >= span and qp + qd + nd <= mass_floor:
+            break
+    if traj.duration == 0.0:
+        traj.duration = t_next
+    traj.emitted_tokens = traj.completed_mass * out_mean + sum(
+        mass * min(out_mean, progress - admitted_at) for mass, admitted_at in cohorts
+    )
+    return traj
+
+
+# --------------------------------------------------------------------------
+# colocated (SARATHI-style) integrator
+# --------------------------------------------------------------------------
+
+
+def _integrate_colocated(
+    pool: ColocatedPool,
+    profile: TraceProfile,
+    mfit: BatchTimeFit,
+    dfit: BatchTimeFit,
+    horizon: float,
+    balanced: bool,
+    kv_capacity: float,
+) -> _Trajectory:
+    n = pool.n_instances
+    pm, out_mean = profile.prompt_mean, profile.output_mean
+    chunk = float(pool.chunk_tokens)
+    cap = max(1.0, min(float(pool.max_decode_batch), kv_capacity / max(profile.total_mean, 1.0)))
+    cap_total = n * cap
+    dt = _fluid_dt(profile, horizon)
+    half = 0.5 * dt
+    traj = _Trajectory()
+    rates = [float(r) for r in profile.rates]
+    srates = _smoothed_rates(rates)
+    n_bins = len(rates)
+    inv_bin = 1.0 / profile.bin_s
+    span = profile.span
+    inv_pm = 1.0 / pm
+    per_instance = 1.0 if balanced else cap
+    passes_per_prompt = math.ceil(pm / chunk)
+    out_floor = out_mean - 1e-9
+    mass_floor = 1e-9 * max(1.0, float(profile.n_requests))
+    exp, ceil = math.exp, math.ceil
+    m_memo: dict = {}
+    d_memo: dict = {}
+    e_memo: dict = {}
+    td_idle = dfit.time_at(1.0)
+
+    aw_app = traj.arrive_w.append
+    eb_app = traj.e2e_base.append
+    ta_app = traj.tbt_at_arrival.append
+    tw_app = traj.ttft_w.append
+    tv_app = traj.ttft_vals.append
+    cw_app = traj.complete_w.append
+    tc_app = traj.tbt_at_completion.append
+
+    qa = 0.0  # admission queue (not yet resident)
+    prefill_tokens = 0.0  # outstanding prompt tokens among residents
+    nd = 0.0  # decode-resident mass
+    progress = 0.0
+    cohorts: deque = deque()
+    pop_front = cohorts.popleft
+    push = cohorts.append
+    step = 0
+    max_steps = int(horizon / dt) + 1
+    t_next = 0.0
+    while step < max_steps:
+        t = t_next
+        t_next = (step + 1) * dt
+        step += 1
+        idx_mid = int((t + half) * inv_bin)
+        lam_mid = rates[idx_mid] if idx_mid < n_bins else 0.0
+
+        resident = nd + prefill_tokens * inv_pm
+        if resident > _EPS:
+            n_act = ceil(resident / per_instance - 1e-9)
+            if n_act < 1:
+                n_act = 1
+            elif n_act > n:
+                n_act = n
+            bd = nd / n_act
+            if bd > cap:
+                bd = cap
+            qdk = int(bd * 16.0 + 0.5)
+            if qdk < 16:
+                qdk = 16
+            t_mix = m_memo.get(qdk)
+            if t_mix is None:
+                t_mix = mfit.time_at(qdk * 0.0625)
+                m_memo[qdk] = t_mix
+            t_dec = d_memo.get(qdk)
+            if t_dec is None:
+                t_dec = dfit.time_at(qdk * 0.0625)
+                d_memo[qdk] = t_dec
+            # Only the fraction of iterations that actually carry a chunk
+            # pays the mixed-pass premium; the rest run decode-only.
+            if prefill_tokens > _EPS:
+                chunk_frac = (prefill_tokens / dt) / (n_act * chunk / t_mix)
+                if chunk_frac > 1.0:
+                    chunk_frac = 1.0
+            else:
+                chunk_frac = 0.0
+            t_iter = chunk_frac * t_mix + (1.0 - chunk_frac) * t_dec
+            traj.busy_decode += n_act * (1.0 - exp(-resident / n_act)) * dt
+        else:
+            n_act = 0
+            chunk_frac = 0.0
+            t_mix = t_iter = td_idle
+        # Decode token progress (mixed iterations still emit one token per
+        # resident sequence).
+        if nd > _EPS:
+            progress += dt / t_iter
+        done = 0.0
+        while cohorts and progress - cohorts[0][1] >= out_floor:
+            done += pop_front()[0]
+        if done > 0.0:
+            nd -= done
+            traj.completed_mass += done
+            traj.duration = t_next
+        # Chunked prefill: chunk-carrying iterations retire chunk tokens
+        # each; finished prompts join the decode batch.
+        if prefill_tokens > _EPS and n_act > 0:
+            drained = chunk_frac * n_act * chunk / t_iter * dt
+            if drained > prefill_tokens:
+                drained = prefill_tokens
+            prefill_tokens -= drained
+            moved = drained * inv_pm
+            if moved > _EPS:
+                push([moved, progress])
+                nd += moved
+        # KV-bounded admission into residency.
+        resident = nd + prefill_tokens * inv_pm
+        free_rate = (cap_total - resident) / dt
+        if free_rate < 0.0:
+            free_rate = 0.0
+        mu_adm = lam_mid + qa / dt
+        if mu_adm > free_rate:
+            mu_adm = free_rate
+        admitted = mu_adm * dt
+        qa = qa + dt * (lam_mid - mu_adm)
+        if qa < 0.0:
+            qa = 0.0
+        prefill_tokens += admitted * pm
+
+        w = lam_mid * dt
+        if w > 0.0:
+            wait = qa * out_mean * t_iter / nd if (qa > 1e-9 and nd > _EPS) else 0.0
+            # A prompt prefills chunk-by-chunk: ceil(pm/chunk) mixed passes
+            # to first token, plus the iteration-boundary residual.
+            service = passes_per_prompt * t_mix
+            base = wait + service + 0.5 * t_iter
+            # Prompt service behind other prompts queues M/D/c-style:
+            # blocked probability from Erlang-C, wait depth exponential at
+            # *half* the M/M/c scale (chunk passes are deterministic).
+            servers = n_act if n_act > 0 else 1
+            ekey = (idx_mid, servers, int(service * 1e4))
+            cached = e_memo.get(ekey)
+            if cached is None:
+                slam = srates[idx_mid] if idx_mid < n_bins else 0.0
+                blocked = _erlang_c(servers, slam * service)
+                gap = servers / service - slam
+                scale = 0.5 / gap if gap > 1e-9 else 12.5 * service
+                cached = (blocked, scale)
+                e_memo[ekey] = cached
+            blocked, scale = cached
+            tw_app(w * (1.0 - blocked))
+            tv_app(base)
+            if blocked > 1e-6:
+                share = w * blocked * 0.25
+                for u in _EXP_ATOMS:
+                    tw_app(share)
+                    tv_app(base + u * scale)
+            aw_app(w)
+            eb_app(base + blocked * scale)
+            ta_app(t_iter)
+        if done > 0.0:
+            cw_app(done)
+            tc_app(t_iter)
+        if t_next >= span and qa + prefill_tokens + nd <= mass_floor:
+            break
+    if traj.duration == 0.0:
+        traj.duration = t_next
+    traj.busy_prefill = traj.busy_decode  # one pool: both utilizations equal
+    traj.emitted_tokens = traj.completed_mass * out_mean + sum(
+        mass * min(out_mean, progress - admitted_at) for mass, admitted_at in cohorts
+    )
+    return traj
+
+
+# --------------------------------------------------------------------------
+# public entry points (called by the simulators' backend dispatch)
+# --------------------------------------------------------------------------
+
+
+def fluid_phase_split_report(
+    pools: PhasePools,
+    config: "SimConfig",
+    trace: "Sequence[Request] | Iterable[Request]",
+    prefill_provider: AbstractServiceTimeProvider,
+    decode_provider: AbstractServiceTimeProvider,
+    bundle: PolicyBundle,
+    economics: EconomicsConfig,
+) -> Tuple["SimReport", EconomicsReport]:
+    """Fluid counterpart of :meth:`ServingSimulator.run`."""
+    trace = list(trace)
+    profile = TraceProfile.from_trace(trace)
+    kv_capacity = float(pools.decode.kv_token_capacity())
+    if profile.n_requests == 0:
+        traj = _Trajectory()
+    else:
+        context = int(round(profile.prompt_mean + profile.output_mean / 2.0))
+        pfit = fit_prefill(
+            prefill_provider, pools.max_prefill_batch,
+            max(1, int(round(profile.prompt_mean))), pools.n_prefill,
+        )
+        dfit = fit_decode(decode_provider, pools.max_decode_batch, context, pools.n_decode)
+        traj = _integrate_phase_split(
+            pools, profile, pfit, dfit, config.max_sim_time,
+            _balanced_routing(bundle), kv_capacity,
+        )
+    report = _fluid_report(profile, traj, pools.n_prefill, pools.n_decode)
+    rollups = (
+        pool_economics(
+            "prefill", pools.prefill,
+            _ledger_states(traj.busy_prefill, pools.n_prefill),
+            report.duration, economics,
+        ),
+        pool_economics(
+            "decode", pools.decode,
+            _ledger_states(traj.busy_decode, pools.n_decode),
+            report.duration, economics,
+        ),
+    )
+    return _attach_fluid_economics(report, rollups, traj.emitted_tokens)
+
+
+def fluid_colocated_report(
+    pool: ColocatedPool,
+    config: "SimConfig",
+    trace: "Sequence[Request] | Iterable[Request]",
+    provider: AbstractServiceTimeProvider,
+    bundle: PolicyBundle,
+    economics: EconomicsConfig,
+) -> Tuple["SimReport", EconomicsReport]:
+    """Fluid counterpart of :meth:`ColocatedSimulator.run`."""
+    trace = list(trace)
+    profile = TraceProfile.from_trace(trace)
+    kv_capacity = float(pool.instance.kv_token_capacity())
+    if profile.n_requests == 0:
+        traj = _Trajectory()
+    else:
+        context = int(round(profile.prompt_mean + profile.output_mean / 2.0))
+        prompt = max(1, int(round(profile.prompt_mean)))
+        mfit = fit_mixed(
+            provider, pool.max_decode_batch, context, pool.chunk_tokens,
+            prompt, pool.n_instances,
+        )
+        dfit = fit_decode(provider, pool.max_decode_batch, context, pool.n_instances)
+        traj = _integrate_colocated(
+            pool, profile, mfit, dfit, config.max_sim_time,
+            _balanced_routing(bundle), kv_capacity,
+        )
+    report = _fluid_report(profile, traj, pool.n_instances, pool.n_instances)
+    rollup = pool_economics(
+        "colocated", pool.instance,
+        _ledger_states(traj.busy_decode, pool.n_instances),
+        report.duration, economics,
+    )
+    return _attach_fluid_economics(report, (rollup,), traj.emitted_tokens)

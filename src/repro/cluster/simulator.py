@@ -235,6 +235,13 @@ class SimConfig:
     ResilienceConfig` — deadlines, client retries, checkpointed restarts,
     and brown-out load shedding; ``None`` (the default) builds none of it
     and stays bit-identical to the goldens.
+    ``backend="fluid"`` swaps the discrete-event loop for the analytic
+    fluid/ODE model (:mod:`repro.cluster.fluid`) — milliseconds per run,
+    approximate quantiles, same :class:`SimReport` shape.  The default
+    ``"event"`` is bit-identical to the goldens.  The fluid backend cannot
+    model failures or resilience responses, so composing it with
+    ``resilience=`` (or scripted/sampled failures on the simulator) raises
+    :class:`SpecError` instead of silently mis-estimating.
     """
 
     max_sim_time: float = 3600.0
@@ -244,6 +251,7 @@ class SimConfig:
     fast_engine: bool = True
     metrics: str = "exact"
     resilience: Optional[ResilienceConfig] = None
+    backend: str = "event"
 
     def __post_init__(self) -> None:
         if self.max_sim_time <= 0:
@@ -256,6 +264,13 @@ class SimConfig:
             raise SpecError("metrics must be 'exact' or 'streaming'")
         if self.resilience is not None and not isinstance(self.resilience, ResilienceConfig):
             raise SpecError("resilience must be a ResilienceConfig or None")
+        if self.backend not in ("event", "fluid"):
+            raise SpecError("backend must be 'event' or 'fluid'")
+        if self.backend == "fluid" and self.resilience is not None:
+            raise SpecError(
+                "backend='fluid' cannot model resilience responses; "
+                "use the event backend for deadline/retry/checkpoint runs"
+            )
 
 
 @dataclass(frozen=True)
@@ -275,6 +290,11 @@ class SimReport:
     power model over the run, and ``usd_per_mtoken`` is the amortized
     unit cost over completed output tokens (0.0 when none completed).
     Per-pool detail lives on the simulator's ``last_economics``.
+
+    ``backend`` records provenance: ``"event"`` for discrete-event truth,
+    ``"fluid"`` for the analytic fluid/ODE approximation
+    (:mod:`repro.cluster.fluid`).  Tables and caches carry it through so a
+    screened fluid estimate is never mistaken for event-level truth.
     """
 
     completed: int
@@ -315,6 +335,8 @@ class SimReport:
     failure_hits: int = 0
     mttr_s: float = 0.0
     availability: float = 1.0
+    # Provenance: which backend produced this report ("event" or "fluid").
+    backend: str = "event"
 
     def describe(self) -> str:
         """Multi-line human-readable summary."""
@@ -523,6 +545,34 @@ def _attach_economics(
     return report, econ
 
 
+def _check_fluid_composition(
+    config: SimConfig,
+    failures: Sequence,
+    failure_model,
+    component_failures: Sequence,
+    component_model,
+    controller: Optional[ClusterController],
+) -> None:
+    """Reject fluid-backend compositions the analytic model cannot honour.
+
+    Fluid has no notion of an instance losing its KV state mid-flight or of
+    a controller resizing pools between epochs; raising here (at simulator
+    construction) beats silently returning optimistic estimates.
+    """
+    if config.backend != "fluid":
+        return
+    if failures or failure_model is not None or component_failures or component_model is not None:
+        raise SpecError(
+            "backend='fluid' cannot model failures (scripted, sampled, or "
+            "component-level); use the event backend for chaos/failure runs"
+        )
+    if controller is not None and controller.epoch > 0:
+        raise SpecError(
+            "backend='fluid' cannot model elastic controllers; "
+            "use the event backend or controller=None"
+        )
+
+
 def _validate_failures(
     failures: Sequence[Tuple[float, str, int, float]],
     limits: Dict[str, int],
@@ -592,6 +642,10 @@ class ServingSimulator:
         self.topology = topology
         self.network_model = network_model
         self.controller = get_controller(controller)
+        _check_fluid_composition(
+            self.config, failures, failure_model,
+            component_failures, component_model, self.controller,
+        )
         self.economics = economics or EconomicsConfig()
         self.last_economics: Optional[EconomicsReport] = None
         # StreamingMetrics of the last run (None under metrics="exact");
@@ -655,6 +709,16 @@ class ServingSimulator:
         """
         self.prefill_provider.set_frequency(1.0)
         self.decode_provider.set_frequency(1.0)
+        if self.config.backend == "fluid":
+            from .fluid import fluid_phase_split_report
+
+            report, self.last_economics = fluid_phase_split_report(
+                self.pools, self.config, trace,
+                self.prefill_provider, self.decode_provider,
+                get_policy_bundle(self._policy_spec), self.economics,
+            )
+            self.last_metrics = None
+            return report
         engine = PhaseSplitEngine(
             self.pools,
             self.config,
@@ -724,6 +788,10 @@ class ColocatedSimulator:
         self.topology = topology
         self.network_model = network_model
         self.controller = get_controller(controller)
+        _check_fluid_composition(
+            self.config, failures, failure_model,
+            component_failures, component_model, self.controller,
+        )
         self.economics = economics or EconomicsConfig()
         self.last_economics: Optional[EconomicsReport] = None
         self.last_metrics = None
@@ -770,6 +838,15 @@ class ColocatedSimulator:
         on :meth:`ServingSimulator.run`.
         """
         self.provider.set_frequency(1.0)
+        if self.config.backend == "fluid":
+            from .fluid import fluid_colocated_report
+
+            report, self.last_economics = fluid_colocated_report(
+                self.pool, self.config, trace, self.provider,
+                get_policy_bundle(self._policy_spec), self.economics,
+            )
+            self.last_metrics = None
+            return report
         engine = ColocatedEngine(
             self.pool,
             self.config,

@@ -9,7 +9,7 @@ Pareto utilities used by the capacity-planning example.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import SpecError
 from .inference import PhaseResult
@@ -35,18 +35,55 @@ def normalize_to_baseline(series: Mapping[str, float], baseline: str) -> Dict[st
 
 
 def pareto_front(
-    points: Sequence[Tuple[float, float]],
+    points: "Sequence[Tuple[float, float]] | Iterable[Dict]",
+    cost: Optional[Callable[[Dict], float]] = None,
+    quality: Optional[Callable[[Dict], float]] = None,
+    *,
     maximize_x: bool = False,
     maximize_y: bool = True,
-) -> List[Tuple[float, float]]:
-    """Pareto-efficient subset of 2-D points.
+) -> "List[Tuple[float, float]] | List[Dict]":
+    """Pareto-efficient subset of 2-D points — the one frontier helper.
 
-    Default orientation: minimize x (e.g. cost, latency), maximize y
-    (e.g. throughput).  Returned sorted by x.
+    Two calling modes share this single implementation (it used to be
+    duplicated between :mod:`repro.core.metrics` and
+    :mod:`repro.analysis.sweeps`; the sweeps module now re-exports this
+    object, so ``sweeps.pareto_front is metrics.pareto_front``):
+
+    **Tuple mode** (``cost``/``quality`` omitted): ``points`` are ``(x, y)``
+    pairs.  Default orientation: minimize x (e.g. cost, latency), maximize
+    y (e.g. throughput); flip with ``maximize_x``/``maximize_y``.  Returned
+    sorted by x, duplicate-y points collapsed.
 
     >>> pareto_front([(1, 1), (2, 3), (3, 2)])
     [(1, 1), (2, 3)]
+
+    **Record mode** (both ``cost`` and ``quality`` given): ``points`` are
+    sweep records (dicts); a record survives unless some other record is at
+    least as good on both axes and strictly better on one.  Records with an
+    ``"error"`` field are skipped; the front returns sorted by ascending
+    cost (ties keep input order, duplicates all survive).
+
+    >>> recs = [{"c": 1, "q": 1}, {"c": 2, "q": 3}, {"c": 3, "q": 2}]
+    >>> [r["c"] for r in pareto_front(recs, lambda r: r["c"], lambda r: r["q"])]
+    [1, 2]
     """
+    if (cost is None) != (quality is None):
+        raise SpecError("pareto_front needs both cost and quality accessors, or neither")
+    if cost is not None and quality is not None:
+        candidates = [r for r in points if "error" not in r]
+        front_records: List[Dict] = []
+        for record in candidates:
+            c, q = cost(record), quality(record)
+            dominated = any(
+                (cost(other) <= c and quality(other) >= q)
+                and (cost(other) < c or quality(other) > q)
+                for other in candidates
+                if other is not record
+            )
+            if not dominated:
+                front_records.append(record)
+        return sorted(front_records, key=cost)
+    points = list(points)
     if not points:
         return []
     sign_x = -1.0 if maximize_x else 1.0

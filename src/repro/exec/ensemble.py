@@ -103,6 +103,16 @@ def aggregate_reports(reports: Sequence[SimReport], seeds: Sequence[int]) -> Ens
     n = len(reports)
     mean_fields, lo_fields, hi_fields = {}, {}, {}
     for spec_field in fields(SimReport):
+        if spec_field.name == "backend":
+            # Provenance is categorical, not averageable; replicas of one
+            # ensemble always share a backend (mixing would be a bug).
+            backends = {report.backend for report in reports}
+            if len(backends) > 1:
+                raise SpecError(f"cannot aggregate mixed backends {sorted(backends)}")
+            mean_fields["backend"] = lo_fields["backend"] = hi_fields["backend"] = reports[
+                0
+            ].backend
+            continue
         values = [float(getattr(report, spec_field.name)) for report in reports]
         if all(v == values[0] for v in values):
             # Identical replicas (e.g. failure-free runs): keep the exact

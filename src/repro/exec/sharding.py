@@ -356,6 +356,11 @@ def run_sharded(
     if shards < 1:
         raise SpecError("shards must be at least 1")
     config = config or SimConfig()
+    if config.backend != "event":
+        # The fluid backend is already milliseconds per run; sharding it
+        # would only distort the merge (per-shard profiles lose the queue
+        # coupling).  There is nothing to win — reject loudly.
+        raise SpecError("run_sharded requires backend='event' (fluid needs no sharding)")
     config = replace(config, metrics="streaming")
     sub_deployments = shard_deployment(deployment, shards)
     weights = [d.total_gpus for d in sub_deployments]

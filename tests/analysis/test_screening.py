@@ -1,0 +1,174 @@
+"""Two-tier screening tests: margin dominance, error isolation, end-to-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import screening, sweeps
+from repro.analysis.screening import screen_then_simulate
+from repro.core import metrics
+from repro.errors import SpecError
+
+
+def fake_eval(backend, size, rate):
+    """Quality rises with size and rate; fluid overestimates by 3%."""
+    quality = size * 10.0 + rate
+    if backend == "fluid":
+        quality *= 1.03
+    return {"backend": backend, "quality": quality}
+
+
+def cost_of(record):
+    return float(record["size"])
+
+
+def quality_of(record):
+    return record["result"]["quality"]
+
+
+GRID = [{"size": s, "rate": r} for s in (1, 2, 3) for r in (1.0, 2.0)]
+
+
+class TestParetoUnification:
+    def test_single_implementation(self):
+        assert sweeps.pareto_front is metrics.pareto_front
+        assert screening.pareto_front is metrics.pareto_front
+
+    def test_tuple_mode_unchanged(self):
+        assert metrics.pareto_front([(1, 1), (2, 3), (3, 2)]) == [(1, 1), (2, 3)]
+        assert metrics.pareto_front([]) == []
+
+    def test_record_mode_unchanged(self):
+        recs = [{"c": 1, "q": 1}, {"c": 2, "q": 3}, {"c": 3, "q": 2}]
+        front = metrics.pareto_front(recs, lambda r: r["c"], lambda r: r["q"])
+        assert [r["c"] for r in front] == [1, 2]
+
+    def test_record_mode_skips_errors(self):
+        recs = [{"c": 1, "q": 1}, {"c": 0, "q": 9, "error": "boom"}]
+        front = metrics.pareto_front(recs, lambda r: r["c"], lambda r: r["q"])
+        assert front == [{"c": 1, "q": 1}]
+
+    def test_half_specified_accessors_rejected(self):
+        with pytest.raises(SpecError, match="both"):
+            metrics.pareto_front([{"c": 1}], cost=lambda r: r["c"])
+
+
+class TestScreenThenSimulate:
+    def test_promoted_are_event_backed_and_subset(self):
+        result = screen_then_simulate(
+            fake_eval, GRID, cost=cost_of, quality=quality_of, margin=0.10
+        )
+        assert result.n_points == len(GRID)
+        assert 1 <= len(result.promoted) <= len(GRID)
+        points = {(p["size"], p["rate"]) for p in GRID}
+        for record in result.promoted:
+            assert (record["size"], record["rate"]) in points
+            assert record["result"]["backend"] == "event"
+        for record in result.screened:
+            assert record["result"]["backend"] == "fluid"
+
+    def test_margin_zero_promotes_weak_front_only(self):
+        result = screen_then_simulate(
+            fake_eval, GRID, cost=cost_of, quality=quality_of, margin=0.0
+        )
+        front = metrics.pareto_front(list(result.screened), cost_of, quality_of)
+        assert {(r["size"], r["rate"]) for r in result.promoted} == {
+            (r["size"], r["rate"]) for r in front
+        }
+
+    def test_wider_margin_promotes_superset(self):
+        narrow = screen_then_simulate(
+            fake_eval, GRID, cost=cost_of, quality=quality_of, margin=0.0
+        )
+        wide = screen_then_simulate(
+            fake_eval, GRID, cost=cost_of, quality=quality_of, margin=0.5
+        )
+        narrow_pts = {(r["size"], r["rate"]) for r in narrow.promoted}
+        wide_pts = {(r["size"], r["rate"]) for r in wide.promoted}
+        assert narrow_pts <= wide_pts
+
+    def test_best_is_event_verdict(self):
+        result = screen_then_simulate(
+            fake_eval, GRID, cost=cost_of, quality=quality_of, margin=0.10
+        )
+        assert result.best["size"] == 3 and result.best["rate"] == 2.0
+        assert result.best["result"]["backend"] == "event"
+
+    def test_errored_points_isolated_not_promoted(self):
+        def flaky(backend, size, rate):
+            if size == 2:
+                raise ValueError("infeasible config")
+            return fake_eval(backend, size, rate)
+
+        result = screen_then_simulate(
+            flaky, GRID, cost=cost_of, quality=quality_of, margin=0.0
+        )
+        errored = [r for r in result.screened if "error" in r]
+        assert len(errored) == 2
+        assert all(r["size"] != 2 for r in result.promoted)
+
+    def test_all_errors_is_clean_failure(self):
+        def broken(backend, size, rate):
+            raise ValueError("nope")
+
+        with pytest.raises(SpecError, match="errored"):
+            screen_then_simulate(broken, GRID, cost=cost_of, quality=quality_of)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(SpecError, match="non-empty"):
+            screen_then_simulate(fake_eval, [], cost=cost_of, quality=quality_of)
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(SpecError, match="margin"):
+            screen_then_simulate(
+                fake_eval, GRID, cost=cost_of, quality=quality_of, margin=-0.1
+            )
+
+    def test_table_renders_every_point(self):
+        result = screen_then_simulate(
+            fake_eval, GRID, cost=cost_of, quality=quality_of, margin=0.10
+        )
+        text = result.table(cost_of, quality_of)
+        assert "promoted" in text or "best" in text
+        assert len(text.splitlines()) == 3 + len(GRID)
+
+    def test_promotion_fraction(self):
+        result = screen_then_simulate(
+            fake_eval, GRID, cost=cost_of, quality=quality_of, margin=0.0
+        )
+        assert result.promotion_fraction == pytest.approx(len(result.promoted) / len(GRID))
+
+
+class TestEndToEndSimulation:
+    def test_small_real_screen_recovers_event_argbest(self):
+        from repro.cluster.scheduler import ColocatedPool, InstanceSpec
+        from repro.cluster.simulator import ColocatedSimulator, SimConfig
+        from repro.hardware.gpu import H100
+        from repro.workloads.models import LLAMA3_8B
+        from repro.workloads.traces import TraceConfig, generate_trace
+
+        def run_point(backend, rate, size):
+            trace = generate_trace(
+                TraceConfig(rate=rate, duration=8.0, output_tokens=60, output_spread=0.3),
+                seed=11,
+            )
+            pool = ColocatedPool(
+                InstanceSpec(LLAMA3_8B, H100, 1), size,
+                max_decode_batch=64, chunk_tokens=512,
+            )
+            return ColocatedSimulator(pool, SimConfig(backend=backend)).run(trace)
+
+        points = [{"rate": r, "size": s} for r in (2.0, 6.0) for s in (1, 2)]
+        result = screen_then_simulate(
+            run_point, points,
+            cost=lambda rec: float(rec["size"]),
+            quality=lambda rec: rec["result"].output_tokens_per_s,
+            margin=0.10,
+        )
+        # Ground truth: event-simulate the full grid ourselves.
+        truth = max(
+            points,
+            key=lambda p: run_point("event", p["rate"], p["size"]).output_tokens_per_s,
+        )
+        assert (result.best["rate"], result.best["size"]) == (truth["rate"], truth["size"])
+        assert len(result.promoted) < len(points)

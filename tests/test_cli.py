@@ -15,8 +15,8 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in ("table1", "fig1", "fig2", "fig3a", "fig3b", "report",
-                        "search", "tco", "simulate", "sweep", "topology",
-                        "autoscale"):
+                        "search", "tco", "simulate", "sweep", "screen",
+                        "topology", "autoscale"):
             args = parser.parse_args([command])
             assert callable(args.fn)
         # `cache` needs its positional action.
@@ -135,6 +135,65 @@ class TestSweepCommand:
         captured = capsys.readouterr()
         assert "ERROR" in captured.out  # the per-point error line
         assert "no sweep point completed successfully" in captured.err
+
+    def test_fluid_backend_sweep(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path, "--backend", "fluid", "--no-cache")) == 0
+        assert "backend" in capsys.readouterr().out  # provenance column
+
+    def test_fluid_backend_misses_event_cache(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._argv(tmp_path, "--backend", "fluid")) == 0
+        assert "0 hits" in capsys.readouterr().out
+
+
+class TestFluidBackendCommand:
+    def test_simulate_fluid(self, capsys):
+        assert main([
+            "simulate", "--model", "Llama3-8B", "--prefill-gpu", "H100",
+            "--decode-gpu", "H100", "--gpus-per-instance", "1",
+            "--n-prefill", "1", "--n-decode", "1", "--max-decode-batch", "64",
+            "--rate", "2", "--duration", "5", "--backend", "fluid",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fluid" in out and "completed" in out
+
+    def test_fluid_rejects_shards(self, capsys):
+        assert main([
+            "simulate", "--backend", "fluid", "--shards", "2",
+            "--rate", "2", "--duration", "5",
+        ]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_fluid_rejects_failures(self, capsys):
+        assert main([
+            "simulate", "--model", "Llama3-8B", "--prefill-gpu", "H100",
+            "--decode-gpu", "H100", "--gpus-per-instance", "1",
+            "--backend", "fluid", "--mtbf-hours", "0.5",
+            "--rate", "2", "--duration", "5",
+        ]) == 2
+        assert "fluid" in capsys.readouterr().err
+
+
+class TestScreenCommand:
+    def test_screen_prints_two_tier_table_and_verdict(self, capsys, tmp_path):
+        assert main([
+            "screen", "--model", "Llama3-8B", "--gpu", "H100",
+            "--rates", "2,4", "--sizes", "1,2", "--duration", "4",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "two-tier screen" in out
+        assert "best (event-verified):" in out
+        assert "points promoted" in out
+
+    def test_screen_no_cache(self, capsys, tmp_path):
+        assert main([
+            "screen", "--model", "Llama3-8B", "--gpu", "H100",
+            "--rates", "2", "--sizes", "1", "--duration", "4", "--no-cache",
+        ]) == 0
+        assert "best (event-verified):" in capsys.readouterr().out
+        assert not (tmp_path / "cache").exists()
 
 
 class TestTopologyCommand:
